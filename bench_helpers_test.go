@@ -1,0 +1,23 @@
+package g10sim
+
+import (
+	"g10sim/internal/ssd"
+	"g10sim/internal/units"
+)
+
+// Small indirections so bench_test.go reads cleanly without leaking the
+// internal ssd package into every line.
+
+func benchSSDConfig() ssd.Config {
+	cfg := ssd.ZNAND()
+	cfg.Capacity = 256 * units.MB
+	cfg.PageSize = 16 * units.KB
+	cfg.PagesPerBlock = 32
+	return cfg
+}
+
+func benchSSDNew(cfg ssd.Config) (*ssd.Device, error) { return ssd.New(cfg) }
+
+func benchRange(start, count int64) ssd.LogicalRange {
+	return ssd.LogicalRange{Start: start, Count: count}
+}

@@ -1,0 +1,46 @@
+// Command autocal recomputes the SizeScale/TimeScale calibration constants
+// (DESIGN.md §1) after structural model changes: SizeScale is solved by a
+// secant iteration on total footprint; TimeScale follows directly from the
+// paper's Ideal throughput.
+package main
+
+import (
+	"fmt"
+
+	"g10sim/internal/models"
+	"g10sim/internal/profile"
+	"g10sim/internal/vitality"
+)
+
+func main() {
+	for _, spec := range models.Catalog() {
+		target := float64(spec.PaperFootprint())
+		s0, s1 := spec.SizeScale*0.7, spec.SizeScale
+		f := func(scale float64) float64 {
+			s := spec
+			s.SizeScale = scale
+			return float64(s.Build(s.PaperBatch).Footprint()) - target
+		}
+		f0, f1 := f(s0), f(s1)
+		for i := 0; i < 20 && absf(f1) > 0.002*target; i++ {
+			s2 := s1 - f1*(s1-s0)/(f1-f0)
+			s0, f0 = s1, f1
+			s1, f1 = s2, f(s2)
+		}
+		s := spec
+		s.SizeScale = s1
+		g := s.Build(s.PaperBatch)
+		tr := profile.Profile(g, profile.A100(1))
+		a := vitality.MustAnalyze(g, tr)
+		ts := (float64(s.PaperBatch) / s.PaperIdealRate) / tr.Total().Seconds()
+		fmt.Printf("%-12s SizeScale %.4f TimeScale %.4f (footprint %v, peakAlive %v, maxWS %v)\n",
+			spec.Name, s1, ts, g.Footprint(), a.PeakAlive(), g.MaxWorkingSet())
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,92 @@
+// Command g10bench regenerates the paper's evaluation figures as text
+// tables: the §3 characterisation (Figures 2–4), the §7 performance study
+// (Figures 11–19), and the §7.7 SSD-lifetime analysis.
+//
+// Examples:
+//
+//	g10bench -fig 11                 # end-to-end normalized performance
+//	g10bench -fig all                # the full harness (takes a while)
+//	g10bench -fig 15 -models BERT    # one sweep, one model
+//	g10bench -fig 11 -short          # shrunken fast mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"g10sim/internal/experiments"
+)
+
+var figures = []struct {
+	name string
+	run  func(*experiments.Session) error
+}{
+	{"2", wrap(experiments.Figure2)},
+	{"3", wrap(experiments.Figure3)},
+	{"4", wrap(experiments.Figure4)},
+	{"11", wrap(experiments.Figure11)},
+	{"12", wrap(experiments.Figure12)},
+	{"13", wrap(experiments.Figure13)},
+	{"14", wrap(experiments.Figure14)},
+	{"15", wrap(experiments.Figure15)},
+	{"16", wrap(experiments.Figure16)},
+	{"17", wrap(experiments.Figure17)},
+	{"18", wrap(experiments.Figure18)},
+	{"19", wrap(experiments.Figure19)},
+	{"lifetime", wrap(experiments.SSDLifetime)},
+	{"multigpu", wrap(experiments.MultiGPU)},
+}
+
+func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
+	return func(s *experiments.Session) error {
+		_, err := f(s)
+		return err
+	}
+}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu, or 'all'")
+		short  = flag.Bool("short", false, "shrunken workloads for a fast pass")
+		models = flag.String("models", "", "comma-separated model subset (default: all five)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Short: *short, W: os.Stdout}
+	if *models != "" {
+		opt.Models = strings.Split(*models, ",")
+	}
+	s := experiments.NewSession(opt)
+
+	want := map[string]bool{}
+	if *fig == "all" {
+		for _, f := range figures {
+			want[f.name] = true
+		}
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	ran := 0
+	for _, f := range figures {
+		if !want[f.name] {
+			continue
+		}
+		t0 := time.Now()
+		if err := f.run(s); err != nil {
+			fmt.Fprintf(os.Stderr, "g10bench: figure %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[figure %s regenerated in %v]\n\n", f.name, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "g10bench: no figure matched %q\n", *fig)
+		os.Exit(1)
+	}
+}

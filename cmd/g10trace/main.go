@@ -1,0 +1,145 @@
+// Command g10trace inspects the compiler-side artifacts of the pipeline:
+// it builds a model, profiles its kernels, runs tensor vitality analysis,
+// and prints the graph summary, memory curves, the largest tensors and
+// inactive periods, and (with -plan) the instrumented program the smart
+// migration scheduler emits.
+//
+// With -save it writes the kernel trace as JSON, and -load replays a trace
+// saved earlier (the offline profiling flow of §4.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"g10sim/internal/models"
+	"g10sim/internal/planner"
+	"g10sim/internal/profile"
+	"g10sim/internal/units"
+	"g10sim/internal/vitality"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "BERT", "model name")
+		batch     = flag.Int("batch", 0, "batch size (0 = paper batch)")
+		top       = flag.Int("top", 10, "how many top tensors/periods to list")
+		showPlan  = flag.Bool("plan", false, "run the migration scheduler and summarize the instrumented program")
+		save      = flag.String("save", "", "write the kernel trace JSON to this file")
+		load      = flag.String("load", "", "replay a kernel trace JSON from this file")
+	)
+	flag.Parse()
+
+	spec, err := models.ByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	b := *batch
+	if b == 0 {
+		b = spec.PaperBatch
+	}
+	g := spec.Build(b)
+
+	var trace *profile.Trace
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = profile.Load(f, g)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		trace = profile.Profile(g, profile.A100(spec.TimeScale))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Save(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("trace saved to %s\n", *save)
+	}
+
+	a, err := vitality.Analyze(g, trace)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := g.Summary()
+	fmt.Printf("=== %s batch %d ===\n", s.Name, s.Batch)
+	fmt.Printf("kernels: %d   tensors: %d   footprint: %v   weights: %v\n",
+		s.Kernels, s.Tensors, s.Footprint, s.GlobalBytes)
+	fmt.Printf("peak alive: %v   peak working set: %v   ideal iteration: %v\n",
+		a.PeakAlive(), a.PeakActive(), trace.Total())
+	fmt.Printf("inactive periods: %d (%.0f%% can hide an SSD round trip)\n\n",
+		len(a.Periods), 100*a.HideablePeriods(20*units.Microsecond))
+
+	fmt.Printf("top %d tensors by size:\n", *top)
+	byID := make([]int, len(g.Tensors))
+	for i := range byID {
+		byID[i] = i
+	}
+	sort.Slice(byID, func(i, j int) bool { return g.Tensors[byID[i]].Size > g.Tensors[byID[j]].Size })
+	for i := 0; i < *top && i < len(byID); i++ {
+		t := g.Tensors[byID[i]]
+		fmt.Printf("  %-44s %-12s %v\n", t.Name, t.Kind, t.Size)
+	}
+
+	fmt.Printf("\ntop %d inactive periods by size x duration:\n", *top)
+	idx := make([]int, len(a.Periods))
+	for i := range idx {
+		idx[i] = i
+	}
+	weight := func(i int) float64 {
+		p := &a.Periods[i]
+		return float64(p.Tensor.Size) * p.Duration().Seconds()
+	}
+	sort.Slice(idx, func(i, j int) bool { return weight(idx[i]) > weight(idx[j]) })
+	for i := 0; i < *top && i < len(idx); i++ {
+		p := &a.Periods[idx[i]]
+		wrap := ""
+		if p.Wraps {
+			wrap = " (wraps iteration)"
+		}
+		fmt.Printf("  %-44s %v idle %v after k%d until k%d%s\n",
+			p.Tensor.Name, p.Tensor.Size, p.Duration(), p.AfterKernel, p.NextUse, wrap)
+	}
+
+	if *showPlan {
+		plan := planner.New(a, planner.Default())
+		fmt.Printf("\n=== instrumented program (smart migration plan) ===\n")
+		fmt.Printf("decisions: %d (%v to SSD, %v to host)\n",
+			len(plan.Decisions), plan.PlannedSSDBytes, plan.PlannedHostBytes)
+		fmt.Printf("planned peak pressure: %v (GPU capacity %v, residual overflow %v)\n",
+			plan.PeakPressure, plan.Config.GPUCapacity, plan.ResidualOverflow)
+		fmt.Printf("instructions: %d allocs, %d frees, %d pre-evictions, %d prefetches\n",
+			plan.Program.CountKind(planner.OpAlloc), plan.Program.CountKind(planner.OpFree),
+			plan.Program.CountKind(planner.OpPreEvict), plan.Program.CountKind(planner.OpPrefetch))
+		fmt.Printf("\nfirst instrumented boundaries:\n")
+		shown := 0
+		for bIdx, instrs := range plan.Program.Boundaries {
+			for _, in := range instrs {
+				if in.Kind == planner.OpPreEvict || in.Kind == planner.OpPrefetch {
+					fmt.Printf("  before kernel %4d: %v\n", bIdx, in)
+					shown++
+					if shown >= *top {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "g10trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Batchsweep reproduces the spirit of the paper's Figure 15 through the
+// public API: training throughput versus batch size for each design on one
+// model, showing where each memory system falls off the Ideal curve.
+//
+// Run with:
+//
+//	go run ./examples/batchsweep [-model ResNet152]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	g10 "g10sim"
+)
+
+func main() {
+	model := flag.String("model", "ResNet152", "one of g10sim.Models()")
+	full := flag.Bool("full", false, "use the paper's batch sizes (slow)")
+	flag.Parse()
+
+	batches := []int{16, 32, 64, 128}
+	if *full {
+		batches = []int{256, 512, 768, 1024, 1280}
+	}
+	policies := []string{"Ideal", "Base UVM", "FlashNeuron", "DeepUM+", "G10"}
+
+	cfg := g10.DefaultConfig()
+	if !*full {
+		// Scale the machine down with the workload so the small batches
+		// still oversubscribe GPU memory.
+		cfg.GPUMemoryGB = 4
+		cfg.HostMemoryGB = 12
+		cfg.SSDCapacityGB = 128
+	}
+
+	fmt.Printf("%s throughput (examples/sec) on a %.0fGB GPU:\n\n%-8s", *model, cfg.GPUMemoryGB, "batch")
+	for _, p := range policies {
+		fmt.Printf(" %12s", p)
+	}
+	fmt.Println()
+
+	for _, batch := range batches {
+		w, err := g10.BuildModel(*model, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d", batch)
+		for _, p := range policies {
+			rep, err := g10.Simulate(w, p, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Failed {
+				fmt.Printf(" %12s", "FAIL")
+			} else {
+				fmt.Printf(" %12.2f", rep.Throughput)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe G10 column should track Ideal the longest as batch size grows (Fig. 15).")
+}

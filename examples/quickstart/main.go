@@ -1,0 +1,46 @@
+// Quickstart: build one of the paper's workloads, run it under the full
+// G10 design and the Base UVM baseline, and compare against the Ideal
+// (infinite GPU memory) bound.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	g10 "g10sim"
+)
+
+func main() {
+	// BERT at a reduced batch size keeps this example fast; pass the
+	// paper's batch (256) for the full-scale run.
+	workload, err := g10.BuildModel("BERT", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := workload.Summary()
+	fmt.Printf("workload: %s batch %d — %d kernels, %d tensors\n", s.Model, s.Batch, s.Kernels, s.Tensors)
+	fmt.Printf("memory:   footprint %.1f GB, peak pressure %.1f GB, largest kernel %.2f GB\n",
+		s.FootprintGB, s.PeakAliveGB, s.MaxWorkingSetGB)
+	fmt.Printf("compute:  %.3f s/iteration with unlimited GPU memory\n\n", s.IdealSeconds)
+
+	// Squeeze the GPU so the workload oversubscribes memory ~2x.
+	cfg := g10.DefaultConfig()
+	cfg.GPUMemoryGB = s.PeakAliveGB / 2
+	cfg.HostMemoryGB = 32
+
+	for _, policy := range []string{"Ideal", "Base UVM", "DeepUM+", "G10"} {
+		report, err := g10.Simulate(workload, policy, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
+		if policy == "G10" && !report.Failed {
+			fmt.Printf("  traffic: %.1f GB to SSD, %.1f GB to host; %d page faults\n",
+				report.GPUToSSDGB, report.GPUToHostGB, report.Faults)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package g10sim is a from-scratch reproduction of G10 (Zhang et al.,
+// MICRO 2023): a unified GPU memory and storage architecture that scales
+// GPU memory with flash while hiding migration latency behind compiler-
+// planned smart tensor migrations.
+//
+// The package exposes the end-to-end pipeline the paper describes:
+//
+//	workload, _ := g10sim.BuildModel("BERT", 256)      // dataflow graph + profiled trace
+//	report, _ := g10sim.Simulate(workload, "G10", g10sim.DefaultConfig())
+//	fmt.Printf("%.1f%% of ideal\n", 100*report.NormalizedPerf)
+//
+// Under the hood this runs tensor vitality analysis (§4.2), the smart
+// migration scheduler (§4.3–4.4, Algorithm 1), and an event-driven
+// execution simulation over a PCIe/SSD/host bandwidth model, a flash FTL
+// with garbage collection, and an extended-UVM page table. Custom models
+// can be supplied through NewGraphBuilder.
+package g10sim
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/experiments"
+	"g10sim/internal/gpu"
+	"g10sim/internal/models"
+	"g10sim/internal/profile"
+	"g10sim/internal/units"
+	"g10sim/internal/vitality"
+)
+
+// Policies lists the migration policies available to Simulate, in the
+// paper's presentation order, plus "Ideal".
+func Policies() []string {
+	return append([]string{"Ideal"}, experiments.PolicyNames...)
+}
+
+// Models lists the built-in workloads of the paper's Table 1.
+func Models() []string { return models.Names() }
+
+// Config is the simulated system configuration (Table 2 defaults).
+type Config struct {
+	GPUMemoryGB       float64 // on-board HBM capacity (default 40)
+	HostMemoryGB      float64 // host DRAM available for migrations (default 128)
+	PCIeBandwidthGBps float64 // per-direction GPU link bandwidth (default 15.754)
+	SSDReadGBps       float64 // sustained flash read bandwidth (default 3.2)
+	SSDWriteGBps      float64 // sustained flash write bandwidth (default 3.0)
+	SSDCapacityGB     float64 // flash capacity (default 3200)
+	Iterations        int     // training iterations; the last is measured (default 2)
+}
+
+// DefaultConfig returns the paper's Table 2 testbed.
+func DefaultConfig() Config {
+	return Config{
+		GPUMemoryGB:       40,
+		HostMemoryGB:      128,
+		PCIeBandwidthGBps: 15.754,
+		SSDReadGBps:       3.2,
+		SSDWriteGBps:      3.0,
+		SSDCapacityGB:     3200,
+		Iterations:        2,
+	}
+}
+
+func (c Config) toInternal() gpu.Config {
+	cfg := gpu.Default()
+	if c.GPUMemoryGB > 0 {
+		cfg.GPUCapacity = units.Bytes(c.GPUMemoryGB * float64(units.GB))
+	}
+	cfg.HostCapacity = units.Bytes(c.HostMemoryGB * float64(units.GB))
+	if c.PCIeBandwidthGBps > 0 {
+		cfg.PCIeBandwidth = units.GBps(c.PCIeBandwidthGBps)
+	}
+	if c.SSDReadGBps > 0 {
+		cfg.SSD.ReadBandwidth = units.GBps(c.SSDReadGBps)
+	}
+	if c.SSDWriteGBps > 0 {
+		cfg.SSD.WriteBandwidth = units.GBps(c.SSDWriteGBps)
+	}
+	if c.SSDCapacityGB > 0 {
+		cfg.SSD.Capacity = units.Bytes(c.SSDCapacityGB * float64(units.GB))
+	}
+	if c.Iterations > 0 {
+		cfg.Iterations = c.Iterations
+	}
+	return cfg
+}
+
+// Workload is an analyzed training iteration: the dataflow graph, its
+// profiled kernel trace, and the tensor vitality analysis.
+type Workload struct {
+	analysis *vitality.Analysis
+}
+
+// BuildModel constructs a built-in workload at the given batch size
+// (batch <= 0 selects the paper's evaluation batch).
+func BuildModel(name string, batch int) (*Workload, error) {
+	spec, err := models.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Build(batch)
+	tr := profile.Profile(g, profile.A100(spec.TimeScale))
+	a, err := vitality.Analyze(g, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{analysis: a}, nil
+}
+
+// Summary reports headline workload statistics.
+type Summary struct {
+	Model           string
+	Batch           int
+	Kernels         int
+	Tensors         int
+	FootprintGB     float64 // total tensor bytes (the paper's M)
+	PeakAliveGB     float64 // peak no-migration memory pressure
+	MaxWorkingSetGB float64 // largest single-kernel working set
+	IdealSeconds    float64 // stall-free iteration time
+	InactivePeriods int
+}
+
+// Summary computes workload statistics.
+func (w *Workload) Summary() Summary {
+	g := w.analysis.Graph
+	return Summary{
+		Model:           g.Name,
+		Batch:           g.Batch,
+		Kernels:         len(g.Kernels),
+		Tensors:         len(g.Tensors),
+		FootprintGB:     g.Footprint().GiB(),
+		PeakAliveGB:     w.analysis.PeakAlive().GiB(),
+		MaxWorkingSetGB: g.MaxWorkingSet().GiB(),
+		IdealSeconds:    w.analysis.Trace.Total().Seconds(),
+		InactivePeriods: len(w.analysis.Periods),
+	}
+}
+
+// Report is the outcome of one simulated run.
+type Report struct {
+	Model  string
+	Batch  int
+	Policy string
+
+	IterationSeconds float64
+	IdealSeconds     float64
+	NormalizedPerf   float64 // ideal/iteration (1.0 = ideal)
+	Throughput       float64 // examples per second
+	StallSeconds     float64
+
+	GPUToSSDGB  float64
+	SSDToGPUGB  float64
+	GPUToHostGB float64
+	HostToGPUGB float64
+
+	Faults             int64
+	WriteAmplification float64
+	SSDLifetimeYears   float64 // at the measured flash write rate
+
+	Failed     bool
+	FailReason string
+}
+
+// Simulate runs the workload under the named policy.
+func Simulate(w *Workload, policyName string, cfg Config) (Report, error) {
+	pol, err := experiments.NewPolicy(policyName)
+	if err != nil {
+		return Report{}, err
+	}
+	icfg := cfg.toInternal()
+	if policyName == "Ideal" {
+		icfg.GPUCapacity = 1 << 60
+	}
+	res, err := gpu.Run(gpu.RunParams{Analysis: w.analysis, Policy: pol, Config: icfg})
+	if err != nil {
+		return Report{}, err
+	}
+	var rate units.Bandwidth
+	if res.IterationTime > 0 {
+		rate = units.Bandwidth(float64(res.GPUToSSD) / res.IterationTime.Seconds())
+	}
+	return Report{
+		Model:              res.Model,
+		Batch:              res.Batch,
+		Policy:             res.Policy,
+		IterationSeconds:   res.IterationTime.Seconds(),
+		IdealSeconds:       res.IdealTime.Seconds(),
+		NormalizedPerf:     res.NormalizedPerf(),
+		Throughput:         res.Throughput(),
+		StallSeconds:       res.StallTime.Seconds(),
+		GPUToSSDGB:         res.GPUToSSD.GiB(),
+		SSDToGPUGB:         res.SSDToGPU.GiB(),
+		GPUToHostGB:        res.GPUToHost.GiB(),
+		HostToGPUGB:        res.HostToGPU.GiB(),
+		Faults:             res.Faults,
+		WriteAmplification: res.WriteAmp,
+		SSDLifetimeYears:   icfg.SSD.LifetimeYears(rate),
+		Failed:             res.Failed,
+		FailReason:         res.FailReason,
+	}, nil
+}
+
+// TensorKind classifies custom-model tensors (see NewGraphBuilder).
+type TensorKind int
+
+// Tensor kinds for custom graphs.
+const (
+	Weight       TensorKind = TensorKind(dnn.Global)       // lives across iterations
+	Intermediate TensorKind = TensorKind(dnn.Intermediate) // activations/gradients
+	Workspace    TensorKind = TensorKind(dnn.Workspace)    // single-kernel scratch
+)
+
+// Phase tags kernels of custom graphs.
+type Phase int
+
+// Kernel phases.
+const (
+	Forward  Phase = Phase(dnn.Forward)
+	Backward Phase = Phase(dnn.Backward)
+)
+
+// TensorID names a tensor within a GraphBuilder.
+type TensorID int
+
+// GraphBuilder assembles a custom training-iteration graph for simulation
+// through the same pipeline as the built-in models.
+type GraphBuilder struct {
+	b       *dnn.Builder
+	tensors []*dnn.Tensor
+}
+
+// NewGraphBuilder starts a custom model.
+func NewGraphBuilder(name string, batch int) *GraphBuilder {
+	return &GraphBuilder{b: dnn.NewBuilder(name, batch)}
+}
+
+// Tensor declares a tensor of the given size in bytes.
+func (gb *GraphBuilder) Tensor(name string, kind TensorKind, sizeBytes int64) TensorID {
+	t := gb.b.Tensor(name, dnn.TensorKind(kind), units.Bytes(sizeBytes))
+	gb.tensors = append(gb.tensors, t)
+	return TensorID(t.ID)
+}
+
+// Kernel appends a kernel in execution order.
+func (gb *GraphBuilder) Kernel(name string, phase Phase, flops float64, inputs, outputs []TensorID) {
+	gb.b.Kernel(name, dnn.Phase(phase), flops, gb.resolve(inputs), gb.resolve(outputs))
+}
+
+func (gb *GraphBuilder) resolve(ids []TensorID) []*dnn.Tensor {
+	out := make([]*dnn.Tensor, len(ids))
+	for i, id := range ids {
+		out[i] = gb.tensors[id]
+	}
+	return out
+}
+
+// Workload profiles the custom graph (on the calibrated A100 timing model
+// scaled by timeScale; 1.0 = raw roofline) and analyzes tensor vitality.
+func (gb *GraphBuilder) Workload(timeScale float64) (*Workload, error) {
+	g, err := gb.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	tr := profile.Profile(g, profile.A100(timeScale))
+	a, err := vitality.Analyze(g, tr)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{analysis: a}, nil
+}
+
+// String renders a compact report line.
+func (r Report) String() string {
+	if r.Failed {
+		return fmt.Sprintf("%s/%d %s: FAILED (%s)", r.Model, r.Batch, r.Policy, r.FailReason)
+	}
+	return fmt.Sprintf("%s/%d %s: %.3fs (%.1f%% of ideal, %.1f ex/s)",
+		r.Model, r.Batch, r.Policy, r.IterationSeconds, 100*r.NormalizedPerf, r.Throughput)
+}

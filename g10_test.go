@@ -1,0 +1,126 @@
+package g10sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallConfig shrinks the system for fast facade tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GPUMemoryGB = 2
+	cfg.HostMemoryGB = 8
+	cfg.SSDCapacityGB = 64
+	return cfg
+}
+
+func TestFacadePipeline(t *testing.T) {
+	w, err := BuildModel("BERT", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Summary()
+	if s.Model != "BERT" || s.Batch != 16 || s.Kernels == 0 || s.FootprintGB <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	rep, err := Simulate(w, "G10", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("G10 failed: %s", rep.FailReason)
+	}
+	if rep.NormalizedPerf <= 0 || rep.NormalizedPerf > 1.0001 {
+		t.Errorf("normalized perf %v", rep.NormalizedPerf)
+	}
+	if !strings.Contains(rep.String(), "G10") {
+		t.Error("report string missing policy")
+	}
+}
+
+func TestFacadeIdealBeatsBase(t *testing.T) {
+	w, err := BuildModel("ResNet152", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	ideal, err := Simulate(w, "Ideal", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Simulate(w, "Base UVM", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.IterationSeconds > base.IterationSeconds {
+		t.Errorf("ideal (%v) slower than Base UVM (%v)", ideal.IterationSeconds, base.IterationSeconds)
+	}
+	if ideal.NormalizedPerf != 1 {
+		t.Errorf("ideal normalized = %v", ideal.NormalizedPerf)
+	}
+}
+
+func TestFacadeRejectsUnknowns(t *testing.T) {
+	if _, err := BuildModel("GPT9", 4); err == nil {
+		t.Error("unknown model accepted")
+	}
+	w, _ := BuildModel("BERT", 8)
+	if _, err := Simulate(w, "MagicPolicy", DefaultConfig()); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFacadeLists(t *testing.T) {
+	if len(Models()) != 5 {
+		t.Errorf("Models() = %v", Models())
+	}
+	pols := Policies()
+	if pols[0] != "Ideal" || len(pols) != 7 {
+		t.Errorf("Policies() = %v", pols)
+	}
+}
+
+func TestGraphBuilderCustomModel(t *testing.T) {
+	gb := NewGraphBuilder("custom-mlp", 8)
+	const mb = 1 << 20
+	w1 := gb.Tensor("w1", Weight, 64*mb)
+	x := gb.Tensor("x", Intermediate, 32*mb)
+	h := gb.Tensor("h", Intermediate, 128*mb)
+	ws := gb.Tensor("ws", Workspace, 16*mb)
+	y := gb.Tensor("y", Intermediate, 32*mb)
+	gb.Kernel("fc1", Forward, 5e9, []TensorID{w1, x, ws}, []TensorID{h})
+	gb.Kernel("relu", Forward, 1e6, []TensorID{h}, []TensorID{h})
+	gb.Kernel("fc2", Forward, 5e9, []TensorID{h, w1}, []TensorID{y})
+	gb.Kernel("fc2.bwd", Backward, 1e10, []TensorID{y, h, w1}, []TensorID{h})
+	gb.Kernel("fc1.bwd", Backward, 1e10, []TensorID{h, x, w1}, []TensorID{x})
+
+	w, err := gb.Workload(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Summary()
+	if s.Kernels != 5 || s.Tensors != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	cfg := DefaultConfig()
+	cfg.GPUMemoryGB = 0.125 // 128MB: forces migrations
+	cfg.HostMemoryGB = 1
+	cfg.SSDCapacityGB = 16
+	rep, err := Simulate(w, "G10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("custom model failed: %s", rep.FailReason)
+	}
+}
+
+func TestGraphBuilderValidates(t *testing.T) {
+	gb := NewGraphBuilder("bad", 1)
+	gb.Tensor("orphan", Intermediate, 1024)
+	x := gb.Tensor("x", Intermediate, 1024)
+	gb.Kernel("k", Forward, 1, []TensorID{x}, []TensorID{x})
+	if _, err := gb.Workload(1); err == nil {
+		t.Error("orphan tensor accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package dnn
+
+import (
+	"fmt"
+
+	"g10sim/internal/units"
+)
+
+// Builder incrementally constructs a Graph, assigning tensor and kernel IDs.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder starts a graph for the named model at the given batch size.
+func NewBuilder(name string, batch int) *Builder {
+	return &Builder{g: &Graph{Name: name, Batch: batch}}
+}
+
+// Tensor creates and registers a tensor. Sizes below one byte are rejected
+// at Build time via Validate.
+func (b *Builder) Tensor(name string, kind TensorKind, size units.Bytes) *Tensor {
+	t := &Tensor{ID: len(b.g.Tensors), Name: name, Kind: kind, Size: size}
+	b.g.Tensors = append(b.g.Tensors, t)
+	return t
+}
+
+// Kernel appends a kernel in execution order. MemBytes defaults to the sum
+// of the working set (each tensor read or written once); use the returned
+// kernel to override for ops with different traffic.
+func (b *Builder) Kernel(name string, phase Phase, flops float64, inputs, outputs []*Tensor) *Kernel {
+	k := &Kernel{
+		ID:      len(b.g.Kernels),
+		Name:    name,
+		Phase:   phase,
+		Inputs:  inputs,
+		Outputs: outputs,
+		FLOPs:   flops,
+	}
+	k.MemBytes = k.WorkingSet()
+	b.g.Kernels = append(b.g.Kernels, k)
+	return k
+}
+
+// Build validates and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("dnn: build: %w", err)
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build that panics on error; for use by the model zoo whose
+// construction is deterministic.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,261 @@
+// Package dnn defines the dataflow-graph intermediate representation that
+// the tensor vitality analyzer (§4.2 of the G10 paper) consumes: tensors
+// with byte sizes and lifetime kinds, and kernels (operator launches) in
+// execution order with their input/output tensor sets.
+//
+// One Graph represents a single training iteration (forward pass followed by
+// backward pass). Global tensors (weights) live across iterations; the
+// analyzer treats their trailing inactive period as wrapping around to their
+// first use in the next iteration.
+package dnn
+
+import (
+	"fmt"
+
+	"g10sim/internal/units"
+)
+
+// TensorKind classifies a tensor's lifetime behaviour (§4.2).
+type TensorKind int
+
+const (
+	// Global tensors (model weights) are allocated at program start and
+	// used across training iterations.
+	Global TensorKind = iota
+	// Intermediate tensors (activations, gradients) are born at their
+	// first use within an iteration and dead after their last.
+	Intermediate
+	// Workspace tensors are scratch buffers (e.g. cuDNN conv workspaces)
+	// alive only during the single kernel that uses them.
+	Workspace
+)
+
+func (k TensorKind) String() string {
+	switch k {
+	case Global:
+		return "global"
+	case Intermediate:
+		return "intermediate"
+	case Workspace:
+		return "workspace"
+	default:
+		return fmt.Sprintf("TensorKind(%d)", int(k))
+	}
+}
+
+// Tensor is a named, fixed-size buffer in the unified memory space.
+type Tensor struct {
+	ID   int
+	Name string
+	Kind TensorKind
+	Size units.Bytes
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("%s(%s, %v)", t.Name, t.Kind, t.Size)
+}
+
+// Phase tags which part of the training iteration a kernel belongs to.
+type Phase int
+
+const (
+	Forward Phase = iota
+	Backward
+)
+
+func (p Phase) String() string {
+	if p == Forward {
+		return "fwd"
+	}
+	return "bwd"
+}
+
+// Kernel is one operator launch. Inputs and Outputs together form the
+// kernel's working set: every listed tensor must be resident in GPU memory
+// while the kernel executes (a tensor is "active" then, per §3).
+type Kernel struct {
+	ID      int
+	Name    string
+	Phase   Phase
+	Inputs  []*Tensor
+	Outputs []*Tensor
+
+	// FLOPs is the floating-point work of the kernel; MemBytes the DRAM
+	// traffic it generates. Both feed the roofline timing model in
+	// internal/profile.
+	FLOPs    float64
+	MemBytes units.Bytes
+}
+
+// WorkingSet reports the total bytes of the kernel's input and output
+// tensors (each distinct tensor counted once).
+func (k *Kernel) WorkingSet() units.Bytes {
+	var total units.Bytes
+	seen := make(map[int]bool, len(k.Inputs)+len(k.Outputs))
+	for _, t := range k.Inputs {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			total += t.Size
+		}
+	}
+	for _, t := range k.Outputs {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			total += t.Size
+		}
+	}
+	return total
+}
+
+// Tensors yields each distinct tensor the kernel touches, inputs first.
+func (k *Kernel) Tensors() []*Tensor {
+	out := make([]*Tensor, 0, len(k.Inputs)+len(k.Outputs))
+	seen := make(map[int]bool, len(k.Inputs)+len(k.Outputs))
+	for _, t := range k.Inputs {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range k.Outputs {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Graph is one training iteration of a DNN model.
+type Graph struct {
+	Name    string
+	Batch   int
+	Kernels []*Kernel // execution order
+	Tensors []*Tensor // indexed by Tensor.ID
+}
+
+// Footprint reports the total bytes of all tensors — the paper's "M",
+// expressed as a fraction of GPU memory in its figures.
+func (g *Graph) Footprint() units.Bytes {
+	var total units.Bytes
+	for _, t := range g.Tensors {
+		total += t.Size
+	}
+	return total
+}
+
+// GlobalBytes reports the total size of global (weight) tensors.
+func (g *Graph) GlobalBytes() units.Bytes {
+	var total units.Bytes
+	for _, t := range g.Tensors {
+		if t.Kind == Global {
+			total += t.Size
+		}
+	}
+	return total
+}
+
+// MaxWorkingSet reports the largest single-kernel working set, which bounds
+// the minimum GPU memory any policy needs.
+func (g *Graph) MaxWorkingSet() units.Bytes {
+	var max units.Bytes
+	for _, k := range g.Kernels {
+		if ws := k.WorkingSet(); ws > max {
+			max = ws
+		}
+	}
+	return max
+}
+
+// TotalFLOPs sums kernel FLOPs across the iteration.
+func (g *Graph) TotalFLOPs() float64 {
+	var total float64
+	for _, k := range g.Kernels {
+		total += k.FLOPs
+	}
+	return total
+}
+
+// UseIndices reports, per tensor ID, the sorted kernel indices at which the
+// tensor is an input or output.
+func (g *Graph) UseIndices() [][]int {
+	uses := make([][]int, len(g.Tensors))
+	for ki, k := range g.Kernels {
+		for _, t := range k.Tensors() {
+			n := len(uses[t.ID])
+			if n > 0 && uses[t.ID][n-1] == ki {
+				continue
+			}
+			uses[t.ID] = append(uses[t.ID], ki)
+		}
+	}
+	return uses
+}
+
+// Validate checks the graph's structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.Kernels) == 0 {
+		return fmt.Errorf("dnn: graph %q has no kernels", g.Name)
+	}
+	for i, t := range g.Tensors {
+		if t == nil {
+			return fmt.Errorf("dnn: graph %q tensor slot %d is nil", g.Name, i)
+		}
+		if t.ID != i {
+			return fmt.Errorf("dnn: graph %q tensor %q has ID %d at slot %d", g.Name, t.Name, t.ID, i)
+		}
+		if t.Size <= 0 {
+			return fmt.Errorf("dnn: graph %q tensor %q has size %d", g.Name, t.Name, t.Size)
+		}
+	}
+	uses := g.UseIndices()
+	for id, u := range uses {
+		t := g.Tensors[id]
+		if len(u) == 0 {
+			return fmt.Errorf("dnn: graph %q tensor %q is never used", g.Name, t.Name)
+		}
+		if t.Kind == Workspace && len(u) != 1 {
+			return fmt.Errorf("dnn: graph %q workspace %q used by %d kernels", g.Name, t.Name, len(u))
+		}
+	}
+	for ki, k := range g.Kernels {
+		if k.ID != ki {
+			return fmt.Errorf("dnn: graph %q kernel %q has ID %d at slot %d", g.Name, k.Name, k.ID, ki)
+		}
+		if len(k.Outputs) == 0 && len(k.Inputs) == 0 {
+			return fmt.Errorf("dnn: graph %q kernel %q touches no tensors", g.Name, k.Name)
+		}
+		for _, t := range k.Tensors() {
+			if t.ID < 0 || t.ID >= len(g.Tensors) || g.Tensors[t.ID] != t {
+				return fmt.Errorf("dnn: graph %q kernel %q references foreign tensor %q", g.Name, k.Name, t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a graph for reporting (Table 1 of the paper).
+type Stats struct {
+	Name          string
+	Batch         int
+	Kernels       int
+	Tensors       int
+	Footprint     units.Bytes
+	GlobalBytes   units.Bytes
+	MaxWorkingSet units.Bytes
+	TotalFLOPs    float64
+}
+
+// Summary computes headline statistics for the graph.
+func (g *Graph) Summary() Stats {
+	return Stats{
+		Name:          g.Name,
+		Batch:         g.Batch,
+		Kernels:       len(g.Kernels),
+		Tensors:       len(g.Tensors),
+		Footprint:     g.Footprint(),
+		GlobalBytes:   g.GlobalBytes(),
+		MaxWorkingSet: g.MaxWorkingSet(),
+		TotalFLOPs:    g.TotalFLOPs(),
+	}
+}

@@ -1,0 +1,223 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"g10sim/internal/units"
+)
+
+// tinyGraph builds W -> conv -> A -> relu -> B with a workspace on conv.
+func tinyGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("tiny", 4)
+	w := b.Tensor("W", Global, 16*units.MB)
+	x := b.Tensor("X", Intermediate, 8*units.MB)
+	ws := b.Tensor("ws", Workspace, 32*units.MB)
+	a := b.Tensor("A", Intermediate, 8*units.MB)
+	bb := b.Tensor("B", Intermediate, 8*units.MB)
+	b.Kernel("conv", Forward, 1e9, []*Tensor{w, x, ws}, []*Tensor{a})
+	b.Kernel("relu", Forward, 1e6, []*Tensor{a}, []*Tensor{bb})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderAssignsIDs(t *testing.T) {
+	g := tinyGraph(t)
+	for i, tensor := range g.Tensors {
+		if tensor.ID != i {
+			t.Errorf("tensor %q ID = %d, want %d", tensor.Name, tensor.ID, i)
+		}
+	}
+	for i, k := range g.Kernels {
+		if k.ID != i {
+			t.Errorf("kernel %q ID = %d, want %d", k.Name, k.ID, i)
+		}
+	}
+}
+
+func TestFootprintAndGlobals(t *testing.T) {
+	g := tinyGraph(t)
+	if got, want := g.Footprint(), 72*units.MB; got != want {
+		t.Errorf("Footprint = %v, want %v", got, want)
+	}
+	if got, want := g.GlobalBytes(), 16*units.MB; got != want {
+		t.Errorf("GlobalBytes = %v, want %v", got, want)
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	g := tinyGraph(t)
+	if got, want := g.Kernels[0].WorkingSet(), 64*units.MB; got != want {
+		t.Errorf("conv working set = %v, want %v", got, want)
+	}
+	if got, want := g.MaxWorkingSet(), 64*units.MB; got != want {
+		t.Errorf("MaxWorkingSet = %v, want %v", got, want)
+	}
+}
+
+func TestWorkingSetCountsDuplicatesOnce(t *testing.T) {
+	b := NewBuilder("dup", 1)
+	x := b.Tensor("X", Intermediate, 4*units.MB)
+	// In-place style op: X both input and output.
+	k := b.Kernel("relu_", Forward, 1, []*Tensor{x}, []*Tensor{x})
+	if got, want := k.WorkingSet(), 4*units.MB; got != want {
+		t.Errorf("WorkingSet = %v, want %v", got, want)
+	}
+	if got := len(k.Tensors()); got != 1 {
+		t.Errorf("Tensors() len = %d, want 1", got)
+	}
+}
+
+func TestUseIndices(t *testing.T) {
+	g := tinyGraph(t)
+	uses := g.UseIndices()
+	byName := func(name string) []int {
+		for _, tensor := range g.Tensors {
+			if tensor.Name == name {
+				return uses[tensor.ID]
+			}
+		}
+		t.Fatalf("tensor %q not found", name)
+		return nil
+	}
+	if got := byName("A"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("uses(A) = %v, want [0 1]", got)
+	}
+	if got := byName("ws"); len(got) != 1 || got[0] != 0 {
+		t.Errorf("uses(ws) = %v, want [0]", got)
+	}
+}
+
+func TestValidateCatchesUnusedTensor(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	x := b.Tensor("X", Intermediate, units.MB)
+	b.Tensor("orphan", Intermediate, units.MB)
+	b.Kernel("op", Forward, 1, []*Tensor{x}, []*Tensor{x})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never used") {
+		t.Errorf("expected 'never used' error, got %v", err)
+	}
+}
+
+func TestValidateCatchesSharedWorkspace(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	ws := b.Tensor("ws", Workspace, units.MB)
+	x := b.Tensor("X", Intermediate, units.MB)
+	b.Kernel("op1", Forward, 1, []*Tensor{ws}, []*Tensor{x})
+	b.Kernel("op2", Forward, 1, []*Tensor{x, ws}, []*Tensor{x})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "workspace") {
+		t.Errorf("expected workspace error, got %v", err)
+	}
+}
+
+func TestValidateCatchesZeroSize(t *testing.T) {
+	b := NewBuilder("bad", 1)
+	x := b.Tensor("X", Intermediate, 0)
+	b.Kernel("op", Forward, 1, []*Tensor{x}, []*Tensor{x})
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "size") {
+		t.Errorf("expected size error, got %v", err)
+	}
+}
+
+func TestValidateCatchesEmptyGraph(t *testing.T) {
+	b := NewBuilder("empty", 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("expected error for empty graph")
+	}
+}
+
+func TestValidateCatchesForeignTensor(t *testing.T) {
+	b := NewBuilder("a", 1)
+	x := b.Tensor("X", Intermediate, units.MB)
+	b.Kernel("op", Forward, 1, []*Tensor{x}, []*Tensor{x})
+	g := b.MustBuild()
+
+	b2 := NewBuilder("b", 1)
+	y := b2.Tensor("Y", Intermediate, units.MB)
+	b2.Kernel("op", Forward, 1, []*Tensor{y}, []*Tensor{y})
+	g2 := b2.MustBuild()
+
+	// Splice a foreign tensor in and re-validate.
+	g.Kernels[0].Inputs = []*Tensor{g2.Tensors[0]}
+	if err := g.Validate(); err == nil {
+		t.Error("expected foreign-tensor error")
+	}
+}
+
+func TestMemBytesDefaultsToWorkingSet(t *testing.T) {
+	g := tinyGraph(t)
+	for _, k := range g.Kernels {
+		if k.MemBytes != k.WorkingSet() {
+			t.Errorf("kernel %q MemBytes = %v, want %v", k.Name, k.MemBytes, k.WorkingSet())
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	g := tinyGraph(t)
+	s := g.Summary()
+	if s.Kernels != 2 || s.Tensors != 5 || s.Batch != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.TotalFLOPs != 1e9+1e6 {
+		t.Errorf("TotalFLOPs = %v", s.TotalFLOPs)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Global.String() != "global" || Intermediate.String() != "intermediate" || Workspace.String() != "workspace" {
+		t.Error("TensorKind strings wrong")
+	}
+	if Forward.String() != "fwd" || Backward.String() != "bwd" {
+		t.Error("Phase strings wrong")
+	}
+	if !strings.Contains(TensorKind(9).String(), "9") {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+// Property: for any random set of op chains, UseIndices entries are sorted,
+// deduplicated, and within range.
+func TestUseIndicesSortedProperty(t *testing.T) {
+	f := func(lengths []uint8) bool {
+		if len(lengths) == 0 {
+			return true
+		}
+		if len(lengths) > 20 {
+			lengths = lengths[:20]
+		}
+		b := NewBuilder("p", 1)
+		prev := b.Tensor("t0", Intermediate, units.MB)
+		for i, l := range lengths {
+			next := b.Tensor(tname(i+1), Intermediate, units.Bytes(int64(l)+1)*units.KB)
+			b.Kernel("op", Forward, 1, []*Tensor{prev}, []*Tensor{next})
+			prev = next
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for _, u := range g.UseIndices() {
+			for i := 1; i < len(u); i++ {
+				if u[i] <= u[i-1] {
+					return false
+				}
+			}
+			for _, ki := range u {
+				if ki < 0 || ki >= len(g.Kernels) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tname(i int) string { return "t" + string(rune('0'+i%10)) + string(rune('a'+i/10)) }

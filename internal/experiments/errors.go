@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"g10sim/internal/gpu"
+	"g10sim/internal/models"
+	"g10sim/internal/planner"
+	"g10sim/internal/policy"
+	"g10sim/internal/vitality"
+)
+
+// Fig19Row is one (model, error level) cell.
+type Fig19Row struct {
+	Model      string
+	ErrPct     float64
+	Normalized float64 // iteration time at 0% error / iteration time here
+}
+
+// Figure19 reproduces G10's robustness to kernel-timing prediction errors:
+// the plan is derived from a trace with ±err% uniform noise per kernel, but
+// execution replays the true durations. Performance is normalized to the
+// no-error plan.
+func Figure19(s *Session) ([]Fig19Row, error) {
+	w := s.opt.writer()
+	fmt.Fprintln(w, "=== Figure 19: G10 under kernel timing prediction errors (normalized to 0%) ===")
+	errs := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	if s.opt.Short {
+		errs = []float64{0, 0.20}
+	}
+	fmt.Fprintf(w, "%-14s", "model")
+	for _, e := range errs {
+		fmt.Fprintf(w, " %9.0f%%", 100*e)
+	}
+	fmt.Fprintln(w)
+
+	var rows []Fig19Row
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batch := s.batchFor(spec)
+		aTrue, err := s.Analysis(model, batch)
+		if err != nil {
+			return nil, err
+		}
+		cfg := s.baseConfig(aTrue)
+		var base float64
+		fmt.Fprintf(w, "%-14s", model)
+		for _, e := range errs {
+			planAnalysis := aTrue
+			if e > 0 {
+				perturbed := aTrue.Trace.Perturb(e, 12345)
+				planAnalysis, err = vitality.Analyze(aTrue.Graph, perturbed)
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err := gpu.Run(gpu.RunParams{
+				Analysis:  planAnalysis,
+				Policy:    policy.G10Full(planner.Config{}),
+				Config:    cfg,
+				ExecTrace: aTrue.Trace,
+			})
+			if err != nil {
+				return nil, err
+			}
+			secs := res.IterationTime.Seconds()
+			if e == 0 {
+				base = secs
+			}
+			norm := 0.0
+			if secs > 0 {
+				norm = base / secs
+			}
+			rows = append(rows, Fig19Row{Model: model, ErrPct: 100 * e, Normalized: norm})
+			fmt.Fprintf(w, " %9.3f", norm)
+		}
+		fmt.Fprintln(w)
+	}
+	return rows, nil
+}

@@ -1,0 +1,207 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3 characterisation Figures 2–4, §7 Figures 11–19, and the
+// §7.7 SSD-lifetime analysis) as printed series/rows, using the same models,
+// policies, and system configuration as the paper.
+//
+// A Session caches graph analyses and run results so that figures sharing
+// the same (model, batch, policy, config) runs — Figures 11–14 all consume
+// one set — simulate each combination only once.
+//
+// Short mode shrinks batch sizes and scales the GPU capacity against each
+// workload's footprint so the complete code path runs in seconds inside
+// `go test`; full mode reproduces the paper's configuration.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"g10sim/internal/gpu"
+	"g10sim/internal/models"
+	"g10sim/internal/planner"
+	"g10sim/internal/policy"
+	"g10sim/internal/profile"
+	"g10sim/internal/units"
+	"g10sim/internal/vitality"
+)
+
+// PolicyNames lists the evaluated designs in the paper's presentation order.
+var PolicyNames = []string{"Base UVM", "FlashNeuron", "DeepUM+", "G10-GDS", "G10-Host", "G10"}
+
+// NewPolicy constructs a policy by its paper name.
+func NewPolicy(name string) (gpu.Policy, error) {
+	switch name {
+	case "Ideal":
+		return policy.Ideal(), nil
+	case "Base UVM":
+		return policy.BaseUVM(), nil
+	case "DeepUM+":
+		return policy.DeepUMPlus(0), nil
+	case "FlashNeuron":
+		return policy.FlashNeuron(), nil
+	case "G10-GDS":
+		return policy.G10GDS(planner.Config{}), nil
+	case "G10-Host":
+		return policy.G10Host(planner.Config{}), nil
+	case "G10":
+		return policy.G10Full(planner.Config{}), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	}
+}
+
+// Options selects scope and output.
+type Options struct {
+	// Short shrinks workloads for fast test runs.
+	Short bool
+	// Models restricts the workload set (nil = all five).
+	Models []string
+	// W receives the printed tables; nil discards them.
+	W io.Writer
+}
+
+func (o Options) writer() io.Writer {
+	if o.W == nil {
+		return io.Discard
+	}
+	return o.W
+}
+
+func (o Options) modelSet() []string {
+	if len(o.Models) > 0 {
+		return o.Models
+	}
+	return []string{"BERT", "ViT", "Inceptionv3", "ResNet152", "SENet154"}
+}
+
+// shortBatch maps each model to a small batch used in Short mode.
+var shortBatch = map[string]int{
+	"BERT": 16, "ViT": 32, "Inceptionv3": 32, "ResNet152": 32, "SENet154": 16,
+}
+
+// Session caches analyses and simulation results across figures.
+type Session struct {
+	opt      Options
+	analyses map[string]*vitality.Analysis
+	results  map[string]gpu.Result
+}
+
+// NewSession builds a session.
+func NewSession(opt Options) *Session {
+	return &Session{
+		opt:      opt,
+		analyses: make(map[string]*vitality.Analysis),
+		results:  make(map[string]gpu.Result),
+	}
+}
+
+// batchFor reports the evaluation batch size for a model under the
+// session's scope.
+func (s *Session) batchFor(spec models.Spec) int {
+	if s.opt.Short {
+		return shortBatch[spec.Name]
+	}
+	return spec.PaperBatch
+}
+
+// Analysis builds (or returns the cached) vitality analysis for one
+// workload.
+func (s *Session) Analysis(model string, batch int) (*vitality.Analysis, error) {
+	key := fmt.Sprintf("%s/%d", model, batch)
+	if a, ok := s.analyses[key]; ok {
+		return a, nil
+	}
+	spec, err := models.ByName(model)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Build(batch)
+	tr := profile.Profile(g, profile.A100(spec.TimeScale))
+	a, err := vitality.Analyze(g, tr)
+	if err != nil {
+		return nil, err
+	}
+	s.analyses[key] = a
+	return a, nil
+}
+
+// baseConfig is the Table 2 system, scaled down against the workload's
+// memory demand in Short mode so that the same pressure dynamics appear.
+func (s *Session) baseConfig(a *vitality.Analysis) gpu.Config {
+	cfg := gpu.Default()
+	if s.opt.Short {
+		cap := units.Bytes(float64(a.PeakAlive()) * 0.55)
+		if min := a.PeakActive() + a.PeakActive()/4; cap < min {
+			cap = min
+		}
+		cfg.GPUCapacity = cap
+		cfg.HostCapacity = cap * 3
+		ssdCfg := cfg.SSD
+		ssdCfg.Capacity = 64 * units.GB
+		ssdCfg.PageSize = 256 * units.KB
+		cfg.SSD = ssdCfg
+	}
+	return cfg
+}
+
+// Run simulates one (model, batch, policy, config) combination, caching by
+// a caller-supplied config tag ("" for the base configuration).
+func (s *Session) Run(model string, batch int, polName, cfgTag string, cfg gpu.Config, exec *profile.Trace) (gpu.Result, error) {
+	key := fmt.Sprintf("%s/%d/%s/%s", model, batch, polName, cfgTag)
+	if exec == nil {
+		if r, ok := s.results[key]; ok {
+			return r, nil
+		}
+	}
+	a, err := s.Analysis(model, batch)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	pol, err := NewPolicy(polName)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	if polName == "Ideal" {
+		cfg = policy.IdealConfig(cfg)
+	}
+	res, err := gpu.Run(gpu.RunParams{Analysis: a, Policy: pol, Config: cfg, ExecTrace: exec})
+	if err != nil {
+		return gpu.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	if exec == nil {
+		s.results[key] = res
+	}
+	return res, nil
+}
+
+// RunBase runs with the session's default (Table 2 or short-scaled) config.
+func (s *Session) RunBase(model string, polName string) (gpu.Result, error) {
+	spec, err := models.ByName(model)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	batch := s.batchFor(spec)
+	a, err := s.Analysis(model, batch)
+	if err != nil {
+		return gpu.Result{}, err
+	}
+	return s.Run(model, batch, polName, "", s.baseConfig(a), nil)
+}
+
+// percentile returns the q-quantile (0..1) of sorted xs.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"g10sim/internal/gpu"
+)
+
+func shortSession(t *testing.T, modelSet ...string) (*Session, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	if len(modelSet) == 0 {
+		modelSet = []string{"BERT", "ResNet152"}
+	}
+	return NewSession(Options{Short: true, Models: modelSet, W: &buf}), &buf
+}
+
+func TestFigure2Characterization(t *testing.T) {
+	s, buf := shortSession(t)
+	rows, err := Figure2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.AllPct < 0 || r.AllPct > 100.0001 {
+			t.Errorf("AllPct = %v out of range", r.AllPct)
+		}
+		if r.ActivePct > r.AllPct+1e-9 {
+			t.Errorf("active %.2f%% above all %.2f%% at kernel %d", r.ActivePct, r.AllPct, r.KernelIndex)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("missing header")
+	}
+}
+
+func TestFigure3PeriodsObservationO2(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := Figure3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Periods == 0 {
+			t.Errorf("%s has no inactive periods", r.Model)
+		}
+		if r.P10 > r.P50 || r.P50 > r.P90 {
+			t.Errorf("%s percentiles not monotone: %v %v %v", r.Model, r.P10, r.P50, r.P90)
+		}
+	}
+}
+
+func TestFigure4Buckets(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := Figure4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no buckets")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	s, buf := shortSession(t)
+	rows, err := Figure11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := map[string]map[string]float64{}
+	for _, r := range rows {
+		if perf[r.Model] == nil {
+			perf[r.Model] = map[string]float64{}
+		}
+		perf[r.Model][r.Policy] = r.Result.NormalizedPerf()
+	}
+	for model, p := range perf {
+		// The paper's headline ordering must hold even in short mode.
+		if p["G10"] < p["Base UVM"] {
+			t.Errorf("%s: G10 (%.2f) below Base UVM (%.2f)", model, p["G10"], p["Base UVM"])
+		}
+		if p["G10"] < p["DeepUM+"]*0.98 {
+			t.Errorf("%s: G10 (%.2f) below DeepUM+ (%.2f)", model, p["G10"], p["DeepUM+"])
+		}
+		if p["G10"] > 1.0001 {
+			t.Errorf("%s: G10 above ideal (%.3f)", model, p["G10"])
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Error("missing header")
+	}
+}
+
+func TestFigure12BreakdownSums(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := Figure12(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Result.Failed {
+			continue
+		}
+		if r.Result.StallTime < 0 || r.Result.StallTime > r.Result.IterationTime {
+			t.Errorf("%s/%s stall %v outside iteration %v", r.Model, r.Policy, r.Result.StallTime, r.Result.IterationTime)
+		}
+	}
+}
+
+func TestFigure13CDFs(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := Figure13(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := map[string]float64{}
+	for _, r := range rows {
+		if r.P50 > r.P90 || r.P90 > r.P99 || r.P99 > r.Max {
+			t.Errorf("%s/%s: non-monotone percentiles %+v", r.Model, r.Policy, r)
+		}
+		byPol[r.Policy] += r.FracSlowed
+	}
+	// G10 slows fewer kernels than Base UVM (paper: 1-6% vs >50%).
+	if byPol["G10"] > byPol["Base UVM"] {
+		t.Errorf("G10 slowed more kernels (%v) than Base UVM (%v)", byPol["G10"], byPol["Base UVM"])
+	}
+}
+
+func TestFigure14TrafficConsistency(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := Figure14(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		res := r.Result
+		if res.Failed {
+			continue
+		}
+		if res.GPUToSSD < 0 || res.SSDToGPU < 0 || res.GPUToHost < 0 || res.HostToGPU < 0 {
+			t.Errorf("%s/%s negative traffic: %+v", r.Model, r.Policy, res)
+		}
+	}
+	// G10-GDS is covered in Figure 11; here check Base UVM/G10 move data.
+	var any bool
+	for _, r := range rows {
+		if !r.Result.Failed && r.Result.TotalTraffic() > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("no policy moved any data under memory pressure")
+	}
+}
+
+func TestFigure15Sweep(t *testing.T) {
+	s, _ := shortSession(t, "BERT")
+	rows, err := Figure15(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal throughput should not increase when the batch shrinks by half
+	// beyond small noise, and must be positive.
+	for _, r := range rows {
+		if r.Policy == "Ideal" && !r.Result.Failed && r.Result.Throughput() <= 0 {
+			t.Errorf("ideal throughput %v at batch %d", r.Result.Throughput(), r.Batch)
+		}
+	}
+}
+
+func TestFigure16HostSweepMonotoneish(t *testing.T) {
+	s, _ := shortSession(t, "ResNet152")
+	rows, err := Figure16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More host memory must not make G10 slower by more than 10% (it can
+	// only add an eviction destination).
+	byBatch := map[int][]SweepRow{}
+	for _, r := range rows {
+		byBatch[r.Batch] = append(byBatch[r.Batch], r)
+	}
+	for batch, rs := range byBatch {
+		first := rs[0].Result.IterationTime
+		last := rs[len(rs)-1].Result.IterationTime
+		if float64(last) > 1.1*float64(first) {
+			t.Errorf("batch %d: more host memory slowed G10: %v -> %v", batch, first, last)
+		}
+	}
+}
+
+func TestFigure17PolicyComparison(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := Figure17(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FlashNeuron must be insensitive to host memory (it never uses it).
+	fn := map[string][]gpu.Result{}
+	for _, r := range rows {
+		if r.Policy == "FlashNeuron" {
+			fn[r.Model] = append(fn[r.Model], r.Result)
+		}
+	}
+	for model, rs := range fn {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Failed != rs[0].Failed {
+				continue
+			}
+			if rs[i].IterationTime != rs[0].IterationTime {
+				t.Errorf("%s: FlashNeuron time changed with host memory: %v vs %v",
+					model, rs[0].IterationTime, rs[i].IterationTime)
+			}
+		}
+	}
+}
+
+func TestFigure18BandwidthHelps(t *testing.T) {
+	s, _ := shortSession(t, "ResNet152")
+	rows, err := Figure18(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G10 at the top SSD bandwidth must be at least as fast as at the
+	// bottom one.
+	var lo, hi float64
+	for _, r := range rows {
+		if r.Policy != "G10" || r.Result.Failed {
+			continue
+		}
+		switch r.X {
+		case 6.4:
+			lo = r.Result.NormalizedPerf()
+		case 32.0:
+			hi = r.Result.NormalizedPerf()
+		}
+	}
+	if hi < lo-0.02 {
+		t.Errorf("more SSD bandwidth hurt G10: %.3f -> %.3f", lo, hi)
+	}
+}
+
+func TestFigure19Robustness(t *testing.T) {
+	s, _ := shortSession(t, "ResNet152")
+	rows, err := Figure19(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ErrPct == 0 && r.Normalized != 1 {
+			t.Errorf("%s: zero-error normalized = %v", r.Model, r.Normalized)
+		}
+		// The paper reports <0.5% degradation at ±20%; allow more slack in
+		// the shrunken short configuration but degradation must stay small.
+		if r.Normalized < 0.85 {
+			t.Errorf("%s at ±%.0f%%: normalized %v — scheduler not robust", r.Model, r.ErrPct, r.Normalized)
+		}
+	}
+}
+
+func TestSSDLifetime(t *testing.T) {
+	s, _ := shortSession(t)
+	rows, err := SSDLifetime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.WriteAmp < 1 {
+			t.Errorf("%s/%s WA %v < 1", r.Model, r.Policy, r.WriteAmp)
+		}
+		if r.WriteShare < 0 || r.WriteShare > 1 {
+			t.Errorf("%s/%s write share %v", r.Model, r.Policy, r.WriteShare)
+		}
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, name := range append([]string{"Ideal"}, PolicyNames...) {
+		if _, err := NewPolicy(name); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestSessionCaching(t *testing.T) {
+	s, _ := shortSession(t, "BERT")
+	r1, err := s.RunBase("BERT", "G10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunBase("BERT", "G10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.IterationTime != r2.IterationTime {
+		t.Error("cache returned different results")
+	}
+}
+
+func TestMultiGPUExtension(t *testing.T) {
+	s, _ := shortSession(t, "ResNet152")
+	rows, err := MultiGPU(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := map[[2]int]float64{}
+	for _, r := range rows {
+		perf[[2]int{r.GPUs, r.SSDs}] = r.PerGPUNorm
+	}
+	// More GPUs per SSD means less flash bandwidth per GPU: per-GPU
+	// performance must not improve.
+	if perf[[2]int{4, 1}] > perf[[2]int{1, 1}]+0.02 {
+		t.Errorf("per-GPU perf improved when sharing one SSD across 4 GPUs: %.3f vs %.3f",
+			perf[[2]int{4, 1}], perf[[2]int{1, 1}])
+	}
+	// Scaling SSDs with GPUs (as §6 recommends) must recover performance.
+	if perf[[2]int{4, 4}] < perf[[2]int{4, 1}]-0.02 {
+		t.Errorf("4 GPUs/4 SSDs (%.3f) below 4 GPUs/1 SSD (%.3f)",
+			perf[[2]int{4, 4}], perf[[2]int{4, 1}])
+	}
+}

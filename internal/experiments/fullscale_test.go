@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestFullScaleHeadlineClaims reruns the paper's headline comparison at the
+// full Table 2 configuration and batch sizes and asserts the claims the
+// paper's conclusions rest on (EXPERIMENTS.md records the exact values).
+// Skipped under -short: it simulates all five workloads under seven
+// designs (~10s).
+func TestFullScaleHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale evaluation in -short mode")
+	}
+	s := NewSession(Options{W: io.Discard})
+	rows, err := Figure11(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := map[string]map[string]float64{}
+	for _, r := range rows {
+		if perf[r.Model] == nil {
+			perf[r.Model] = map[string]float64{}
+		}
+		perf[r.Model][r.Policy] = r.Result.NormalizedPerf()
+	}
+
+	var g10Sum, dumRatioSum float64
+	var n int
+	for model, p := range perf {
+		g10, dum, host, gds, base := p["G10"], p["DeepUM+"], p["G10-Host"], p["G10-GDS"], p["Base UVM"]
+		// Ordering: G10 >= G10-Host >= G10-GDS (ablations only remove
+		// capability) and G10 > DeepUM+ > Base UVM.
+		if g10+1e-9 < host {
+			t.Errorf("%s: G10 (%.3f) below G10-Host (%.3f)", model, g10, host)
+		}
+		if host+1e-9 < gds {
+			t.Errorf("%s: G10-Host (%.3f) below G10-GDS (%.3f)", model, host, gds)
+		}
+		if g10 < dum {
+			t.Errorf("%s: G10 (%.3f) below DeepUM+ (%.3f)", model, g10, dum)
+		}
+		if dum < base {
+			t.Errorf("%s: DeepUM+ (%.3f) below Base UVM (%.3f)", model, dum, base)
+		}
+		g10Sum += g10
+		if dum > 0 {
+			dumRatioSum += g10 / dum
+		}
+		n++
+	}
+	// Paper: G10 delivers 90.3% of ideal on average; we require >= 80%.
+	if mean := g10Sum / float64(n); mean < 0.80 {
+		t.Errorf("G10 mean normalized perf %.3f below 0.80 (paper: 0.903)", mean)
+	}
+	// Paper: G10 outperforms DeepUM+ by 1.31x on average; we require the
+	// mean speedup to land in [1.1, 1.8].
+	if ratio := dumRatioSum / float64(n); ratio < 1.1 || ratio > 1.8 {
+		t.Errorf("G10/DeepUM+ mean speedup %.2fx outside [1.1, 1.8] (paper: 1.31x)", ratio)
+	}
+	// ViT must be the workload furthest from ideal (the paper's one
+	// exception).
+	for model, p := range perf {
+		if model == "ViT" {
+			continue
+		}
+		if p["G10"] < perf["ViT"]["G10"] {
+			t.Errorf("%s G10 (%.3f) below ViT (%.3f); ViT should be the outlier",
+				model, p["G10"], perf["ViT"]["G10"])
+		}
+	}
+}
+
+// TestFullScaleCharacterizationClaims checks the §3 observations at the
+// Figure 2–4 batch sizes.
+func TestFullScaleCharacterizationClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale characterization in -short mode")
+	}
+	s := NewSession(Options{W: io.Discard})
+
+	// O1: active tensors a small fraction of total (paper: <10%).
+	rows2, err := Figure2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows2 {
+		if r.ActivePct > 15 {
+			t.Errorf("%s kernel %d: active %.1f%% of peak; O1 expects ~<10%%",
+				r.Model, r.KernelIndex, r.ActivePct)
+		}
+	}
+
+	// O2: transformers have ~50% of periods above 10^5 µs; CNNs more.
+	rows3, err := Figure3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows3 {
+		if r.FracAbove100ms < 0.35 {
+			t.Errorf("%s: only %.0f%% of periods exceed 100ms; O2 expects ~50%%+",
+				r.Model, 100*r.FracAbove100ms)
+		}
+	}
+}

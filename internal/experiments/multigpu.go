@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"g10sim/internal/models"
+	"g10sim/internal/units"
+)
+
+// MultiGPURow is one cell of the §6 multi-GPU study.
+type MultiGPURow struct {
+	Model       string
+	GPUs        int
+	SSDs        int
+	PerGPUNorm  float64 // each GPU's normalized performance
+	AggregateEx float64 // total examples/sec across GPUs
+}
+
+// MultiGPU implements the paper's §6 extension sketch: multiple GPUs each
+// run an independent G10 instance (each makes its own migration decisions)
+// while sharing the flash array. Following §6, the SSD array appears to
+// every GPU as a shared flash space, so with G GPUs and S SSDs each
+// instance sees S/G of the array's bandwidth; each GPU keeps its own PCIe
+// link and an equal share of host memory. The sweep reports per-GPU
+// normalized performance and aggregate throughput as GPUs and SSDs scale —
+// the sensitivity analysis §6 defers to §7.5.
+func MultiGPU(s *Session) ([]MultiGPURow, error) {
+	w := s.opt.writer()
+	fmt.Fprintln(w, "=== §6 extension: multi-GPU sharing an SSD array (G10, per-GPU % of ideal) ===")
+	gpuCounts := []int{1, 2, 4, 8}
+	ssdCounts := []int{1, 2, 4, 8}
+	if s.opt.Short {
+		gpuCounts = []int{1, 4}
+		ssdCounts = []int{1, 4}
+	}
+	var rows []MultiGPURow
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batch := s.batchFor(spec)
+		a, err := s.Analysis(model, batch)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\n%s-%d (rows: GPUs, cols: SSDs %v):\n", model, batch, ssdCounts)
+		for _, gpus := range gpuCounts {
+			fmt.Fprintf(w, "%4d", gpus)
+			for _, ssds := range ssdCounts {
+				cfg := s.baseConfig(a)
+				// Each GPU sees its share of the array's bandwidth and
+				// capacity, and of the host memory.
+				share := float64(ssds) / float64(gpus)
+				ssdCfg := cfg.SSD
+				ssdCfg.ReadBandwidth = units.Bandwidth(float64(ssdCfg.ReadBandwidth) * share)
+				ssdCfg.WriteBandwidth = units.Bandwidth(float64(ssdCfg.WriteBandwidth) * share)
+				ssdCfg.Capacity = units.Bytes(float64(ssdCfg.Capacity) * share)
+				cfg.SSD = ssdCfg
+				cfg.HostCapacity = units.Bytes(float64(cfg.HostCapacity) / float64(gpus))
+				tag := fmt.Sprintf("mg=%dx%d", gpus, ssds)
+				res, err := s.Run(model, batch, "G10", tag, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				row := MultiGPURow{
+					Model: model, GPUs: gpus, SSDs: ssds,
+					PerGPUNorm:  res.NormalizedPerf(),
+					AggregateEx: float64(gpus) * res.Throughput(),
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, " %7.1f%%", 100*row.PerGPUNorm)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows, nil
+}

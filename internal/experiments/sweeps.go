@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"g10sim/internal/gpu"
+	"g10sim/internal/models"
+	"g10sim/internal/units"
+)
+
+// SweepRow is one point of a parameter sweep.
+type SweepRow struct {
+	Model  string
+	Batch  int
+	Policy string
+	// X is the swept parameter (batch size, host GB, or SSD GB/s).
+	X      float64
+	Result gpu.Result
+}
+
+// batchSweep reports the batch sizes to sweep for a model.
+func (s *Session) batchSweep(spec models.Spec) []int {
+	if s.opt.Short {
+		b := shortBatch[spec.Name]
+		return []int{b / 2, b}
+	}
+	return spec.BatchSweep
+}
+
+// Figure15 reproduces training throughput (examples/sec) as batch size
+// varies, for each design and the Ideal bound.
+func Figure15(s *Session) ([]SweepRow, error) {
+	w := s.opt.writer()
+	fmt.Fprintln(w, "=== Figure 15: training throughput vs batch size (examples/sec) ===")
+	policies := []string{"Base UVM", "FlashNeuron", "DeepUM+", "G10", "Ideal"}
+	var rows []SweepRow
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\n%s:\n%-8s", model, "batch")
+		for _, p := range policies {
+			fmt.Fprintf(w, " %12s", p)
+		}
+		fmt.Fprintln(w)
+		for _, batch := range s.batchSweep(spec) {
+			a, err := s.Analysis(model, batch)
+			if err != nil {
+				return nil, err
+			}
+			cfg := s.baseConfig(a)
+			fmt.Fprintf(w, "%-8d", batch)
+			for _, p := range policies {
+				res, err := s.Run(model, batch, p, "", cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, SweepRow{Model: model, Batch: batch, Policy: p, X: float64(batch), Result: res})
+				if res.Failed {
+					fmt.Fprintf(w, " %12s", "FAIL")
+				} else {
+					fmt.Fprintf(w, " %12.2f", res.Throughput())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows, nil
+}
+
+// hostSweep reports the host-memory capacities of Figures 16–17.
+func (s *Session) hostSweep(a interface{ PeakAlive() units.Bytes }) []units.Bytes {
+	if s.opt.Short {
+		base := a.PeakAlive()
+		return []units.Bytes{0, base / 4, base}
+	}
+	return []units.Bytes{0, 32 * units.GB, 64 * units.GB, 128 * units.GB, 256 * units.GB}
+}
+
+// Figure16 reproduces G10's execution time as host memory capacity varies,
+// for several batch sizes per model.
+func Figure16(s *Session) ([]SweepRow, error) {
+	w := s.opt.writer()
+	fmt.Fprintln(w, "=== Figure 16: G10 execution time (s) vs host memory capacity ===")
+	var rows []SweepRow
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batches := s.batchSweep(spec)
+		if len(batches) > 4 {
+			batches = batches[len(batches)-4:]
+		}
+		fmt.Fprintf(w, "\n%s (rows: host GB, cols: batch %v):\n", model, batches)
+		// Determine the host sweep from the largest batch's analysis.
+		aRef, err := s.Analysis(model, batches[len(batches)-1])
+		if err != nil {
+			return nil, err
+		}
+		for _, host := range s.hostSweep(aRef) {
+			fmt.Fprintf(w, "%8.0f", host.GiB())
+			for _, batch := range batches {
+				a, err := s.Analysis(model, batch)
+				if err != nil {
+					return nil, err
+				}
+				cfg := s.baseConfig(a)
+				cfg.HostCapacity = host
+				tag := fmt.Sprintf("host=%d", host)
+				res, err := s.Run(model, batch, "G10", tag, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, SweepRow{Model: model, Batch: batch, Policy: "G10", X: host.GiB(), Result: res})
+				fmt.Fprintf(w, " %10.2f", res.IterationTime.Seconds())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows, nil
+}
+
+// fig17Workloads are the two representative models of Figure 17.
+var fig17Workloads = []struct {
+	Model string
+	Batch int
+}{
+	{"ViT", 1024},
+	{"Inceptionv3", 1280},
+}
+
+// Figure17 compares G10, DeepUM+, and FlashNeuron as host memory varies.
+func Figure17(s *Session) ([]SweepRow, error) {
+	w := s.opt.writer()
+	fmt.Fprintln(w, "=== Figure 17: execution time (s) vs host memory, by policy ===")
+	policies := []string{"DeepUM+", "FlashNeuron", "G10"}
+	var rows []SweepRow
+	for _, wl := range fig17Workloads {
+		batch := wl.Batch
+		if s.opt.Short {
+			batch = shortBatch[wl.Model]
+		}
+		a, err := s.Analysis(wl.Model, batch)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\n%s-%d:\n%-8s", wl.Model, batch, "hostGB")
+		for _, p := range policies {
+			fmt.Fprintf(w, " %12s", p)
+		}
+		fmt.Fprintln(w)
+		for _, host := range s.hostSweep(a) {
+			cfg := s.baseConfig(a)
+			cfg.HostCapacity = host
+			tag := fmt.Sprintf("host=%d", host)
+			fmt.Fprintf(w, "%-8.0f", host.GiB())
+			for _, p := range policies {
+				res, err := s.Run(wl.Model, batch, p, tag, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, SweepRow{Model: wl.Model, Batch: batch, Policy: p, X: host.GiB(), Result: res})
+				if res.Failed {
+					fmt.Fprintf(w, " %12s", "FAIL")
+				} else {
+					fmt.Fprintf(w, " %12.2f", res.IterationTime.Seconds())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows, nil
+}
+
+// Figure18 reproduces normalized performance as the SSD bandwidth scales
+// (stacking SSDs), with the interconnect upgraded to PCIe 4.0 ×16.
+func Figure18(s *Session) ([]SweepRow, error) {
+	w := s.opt.writer()
+	fmt.Fprintln(w, "=== Figure 18: normalized performance vs SSD bandwidth (PCIe 4.0 x16) ===")
+	policies := []string{"Base UVM", "FlashNeuron", "DeepUM+", "G10"}
+	bandwidths := []float64{6.4, 12.8, 19.2, 25.6, 32.0}
+	if s.opt.Short {
+		bandwidths = []float64{6.4, 32.0}
+	}
+	var rows []SweepRow
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batch := s.batchFor(spec)
+		if !s.opt.Short && model == "BERT" {
+			batch = 512 // the paper uses BERT-512 in this sweep
+		}
+		a, err := s.Analysis(model, batch)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\n%s-%d:\n%-8s", model, batch, "GB/s")
+		for _, p := range policies {
+			fmt.Fprintf(w, " %12s", p)
+		}
+		fmt.Fprintln(w)
+		for _, bw := range bandwidths {
+			cfg := s.baseConfig(a)
+			cfg.PCIeBandwidth = units.GBps(32)
+			ssdCfg := cfg.SSD
+			ssdCfg.ReadBandwidth = units.GBps(bw)
+			ssdCfg.WriteBandwidth = units.GBps(bw * 3.0 / 3.2)
+			cfg.SSD = ssdCfg
+			tag := fmt.Sprintf("ssd=%.1f", bw)
+			fmt.Fprintf(w, "%-8.1f", bw)
+			for _, p := range policies {
+				res, err := s.Run(model, batch, p, tag, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, SweepRow{Model: model, Batch: batch, Policy: p, X: bw, Result: res})
+				if res.Failed {
+					fmt.Fprintf(w, " %12s", "FAIL")
+				} else {
+					fmt.Fprintf(w, " %11.1f%%", 100*res.NormalizedPerf())
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,365 @@
+// Package flownet simulates bandwidth sharing between concurrent data
+// transfers as a fluid-flow network with max-min fair allocation.
+//
+// A Network holds named Resources (e.g. "pcie-in", "ssd-read"), each with a
+// capacity in bytes/second. A Flow is a transfer of a fixed byte count routed
+// through one or more resources; its instantaneous rate is the max-min fair
+// share across every resource on its route (progressive filling). The network
+// is advanced event-by-event: rates stay piecewise constant between flow
+// arrivals, completions, and capacity changes.
+//
+// This models the paper's interconnect topology: a GPU↔SSD migration
+// traverses both the SSD channel and the GPU's PCIe link, so saturating
+// either throttles it, while GPU↔host migrations contend only on PCIe.
+package flownet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"g10sim/internal/units"
+)
+
+// Resource is a shared link or device channel with finite bandwidth.
+type Resource struct {
+	Name string
+	// BytesServed accumulates all bytes that have traversed this resource.
+	BytesServed float64
+
+	capacity float64 // bytes/sec
+	// scratch fields used by the allocator.
+	avail float64
+	count int
+}
+
+// Capacity reports the resource's current bandwidth.
+func (r *Resource) Capacity() units.Bandwidth { return units.Bandwidth(r.capacity) }
+
+// Flow is one transfer in flight (or scheduled to start).
+type Flow struct {
+	ID    int64
+	Label string
+	// Size is the total byte count of the transfer.
+	Size units.Bytes
+	// Data is an arbitrary caller payload carried to completion handling.
+	Data any
+	// StartAt is when the flow becomes active (creation time plus any
+	// device latency the caller modeled).
+	StartAt units.Time
+	// CompletedAt is set when the flow finishes.
+	CompletedAt units.Time
+
+	route     []*Resource
+	remaining float64 // bytes
+	rate      float64 // bytes/sec
+	active    bool
+	done      bool
+	heapIdx   int
+	frozen    bool // allocator scratch
+}
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Rate reports the flow's current allocated bandwidth.
+func (f *Flow) Rate() units.Bandwidth { return units.Bandwidth(f.rate) }
+
+// Remaining reports the bytes not yet transferred.
+func (f *Flow) Remaining() units.Bytes { return units.Bytes(math.Ceil(f.remaining)) }
+
+// Route returns the resources the flow traverses.
+func (f *Flow) Route() []*Resource { return f.route }
+
+// Network is a set of resources and the flows traversing them.
+type Network struct {
+	now      units.Time
+	nextID   int64
+	resIndex map[string]*Resource
+	res      []*Resource
+	active   []*Flow
+	dormant  dormantHeap
+}
+
+// New returns an empty network at time zero.
+func New() *Network {
+	return &Network{resIndex: make(map[string]*Resource)}
+}
+
+// Now reports the network clock.
+func (n *Network) Now() units.Time { return n.now }
+
+// AddResource registers a resource. Names must be unique.
+func (n *Network) AddResource(name string, cap units.Bandwidth) *Resource {
+	if _, dup := n.resIndex[name]; dup {
+		panic(fmt.Sprintf("flownet: duplicate resource %q", name))
+	}
+	r := &Resource{Name: name, capacity: float64(cap)}
+	n.resIndex[name] = r
+	n.res = append(n.res, r)
+	return r
+}
+
+// Resource looks up a resource by name, or nil.
+func (n *Network) Resource(name string) *Resource { return n.resIndex[name] }
+
+// SetCapacity changes a resource's bandwidth effective now. Rates of all
+// flows are re-derived immediately.
+func (n *Network) SetCapacity(r *Resource, cap units.Bandwidth) {
+	r.capacity = float64(cap)
+	n.recompute()
+}
+
+// Start launches a flow at the current time.
+func (n *Network) Start(label string, size units.Bytes, data any, route ...*Resource) *Flow {
+	return n.StartAt(label, size, n.now, data, route...)
+}
+
+// StartAt schedules a flow to become active at time at (>= now). Use this to
+// model fixed access latencies (SSD read latency, fault-handling latency)
+// preceding the bandwidth-bound part of a transfer.
+func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data any, route ...*Resource) *Flow {
+	if len(route) == 0 {
+		panic("flownet: flow with empty route")
+	}
+	if at < n.now {
+		at = n.now
+	}
+	n.nextID++
+	f := &Flow{
+		ID:        n.nextID,
+		Label:     label,
+		Size:      size,
+		Data:      data,
+		StartAt:   at,
+		route:     route,
+		remaining: float64(size),
+	}
+	if f.remaining <= 0 {
+		// Zero-byte flows complete instantly at their start time.
+		f.remaining = 0
+	}
+	if at <= n.now {
+		n.activate(f)
+	} else {
+		heap.Push(&n.dormant, f)
+	}
+	return f
+}
+
+func (n *Network) activate(f *Flow) {
+	f.active = true
+	n.active = append(n.active, f)
+	n.recompute()
+}
+
+// NextEvent reports the earliest time at which the network's state changes on
+// its own: a dormant flow activates or an active flow completes. Returns
+// Forever when nothing is pending.
+func (n *Network) NextEvent() units.Time {
+	next := units.Forever
+	if len(n.dormant) > 0 {
+		next = units.MinTime(next, n.dormant[0].StartAt)
+	}
+	for _, f := range n.active {
+		next = units.MinTime(next, n.completionTime(f))
+	}
+	return next
+}
+
+// Idle reports whether no flows are active or pending.
+func (n *Network) Idle() bool { return len(n.active) == 0 && len(n.dormant) == 0 }
+
+func (n *Network) completionTime(f *Flow) units.Time {
+	if f.remaining <= 0 {
+		return n.now
+	}
+	if f.rate <= 0 {
+		return units.Forever
+	}
+	secs := f.remaining / f.rate
+	d := units.Duration(math.Ceil(secs * float64(units.Second)))
+	if d < 1 {
+		d = 1
+	}
+	return n.now + d
+}
+
+// AdvanceTo moves the clock to t, processing flow activations and
+// completions in chronological order, and returns the flows that completed
+// in (previous now, t], ordered by completion time. t must be >= Now().
+func (n *Network) AdvanceTo(t units.Time) []*Flow {
+	if t < n.now {
+		panic(fmt.Sprintf("flownet: AdvanceTo(%v) before now=%v", t, n.now))
+	}
+	var completed []*Flow
+	for {
+		e := n.NextEvent()
+		if e > t {
+			break
+		}
+		completed = append(completed, n.step(e)...)
+	}
+	n.progress(t)
+	completed = append(completed, n.reap()...)
+	return completed
+}
+
+// step advances exactly to internal event time e, handling activations and
+// completions there.
+func (n *Network) step(e units.Time) []*Flow {
+	n.progress(e)
+	completed := n.reap()
+	changed := len(completed) > 0
+	for len(n.dormant) > 0 && n.dormant[0].StartAt <= n.now {
+		f := heap.Pop(&n.dormant).(*Flow)
+		f.active = true
+		n.active = append(n.active, f)
+		changed = true
+	}
+	if changed {
+		n.recompute()
+	}
+	return completed
+}
+
+// progress transfers bytes on every active flow for the interval [now, to].
+func (n *Network) progress(to units.Time) {
+	if to <= n.now {
+		return
+	}
+	dt := (to - n.now).Seconds()
+	for _, f := range n.active {
+		if f.rate <= 0 {
+			continue
+		}
+		moved := f.rate * dt
+		if moved > f.remaining {
+			moved = f.remaining
+		}
+		f.remaining -= moved
+		for _, r := range f.route {
+			r.BytesServed += moved
+		}
+	}
+	n.now = to
+}
+
+// reap removes finished flows from the active set (remaining below half a
+// byte counts as finished, absorbing float error) and returns them.
+func (n *Network) reap() []*Flow {
+	var done []*Flow
+	kept := n.active[:0]
+	for _, f := range n.active {
+		if f.remaining < 0.5 {
+			f.remaining = 0
+			f.done = true
+			f.active = false
+			f.CompletedAt = n.now
+			done = append(done, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	n.active = kept
+	if len(done) > 0 {
+		n.recompute()
+		sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	}
+	return done
+}
+
+// recompute derives max-min fair rates for all active flows by progressive
+// filling: repeatedly find the most constrained resource, give its flows
+// their equal share, freeze them, and remove that capacity.
+func (n *Network) recompute() {
+	unfrozen := 0
+	for _, r := range n.res {
+		r.avail = r.capacity
+		r.count = 0
+	}
+	for _, f := range n.active {
+		f.frozen = false
+		f.rate = 0
+		unfrozen++
+		for _, r := range f.route {
+			r.count++
+		}
+	}
+	for unfrozen > 0 {
+		// Find the bottleneck resource.
+		var bottleneck *Resource
+		share := math.Inf(1)
+		for _, r := range n.res {
+			if r.count == 0 {
+				continue
+			}
+			s := r.avail / float64(r.count)
+			if s < share {
+				share = s
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			// No unfrozen flow traverses any resource; cannot happen
+			// because routes are non-empty, but guard against it.
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		for _, f := range n.active {
+			if f.frozen || !flowUses(f, bottleneck) {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			unfrozen--
+			for _, r := range f.route {
+				r.avail -= share
+				if r.avail < 0 {
+					r.avail = 0
+				}
+				r.count--
+			}
+		}
+	}
+}
+
+func flowUses(f *Flow, r *Resource) bool {
+	for _, rr := range f.route {
+		if rr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// dormantHeap orders scheduled-but-not-started flows by start time.
+type dormantHeap []*Flow
+
+func (h dormantHeap) Len() int { return len(h) }
+func (h dormantHeap) Less(i, j int) bool {
+	if h[i].StartAt != h[j].StartAt {
+		return h[i].StartAt < h[j].StartAt
+	}
+	return h[i].ID < h[j].ID
+}
+func (h dormantHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *dormantHeap) Push(x any) {
+	f := x.(*Flow)
+	f.heapIdx = len(*h)
+	*h = append(*h, f)
+}
+func (h *dormantHeap) Pop() any {
+	old := *h
+	f := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return f
+}

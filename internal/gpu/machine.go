@@ -1,0 +1,642 @@
+package gpu
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/flownet"
+	"g10sim/internal/ssd"
+	"g10sim/internal/units"
+	"g10sim/internal/uvm"
+	"g10sim/internal/vitality"
+)
+
+// Policy is the migration decision-maker plugged into the machine. The G10
+// variants are almost entirely static (the instrumented program carries
+// their decisions); baselines are dynamic.
+type Policy interface {
+	Name() string
+	// Attach is called once before simulation begins.
+	Attach(m *Machine)
+	// AtBoundary runs after the program's instructions at boundary b of
+	// iteration iter — dynamic policies issue prefetches here.
+	AtBoundary(iter, b int)
+	// OnMiss is called when kernel k needs tensor t but it is not in GPU
+	// memory and no fetch is in flight. The policy issues the demand
+	// migration (typically m.RequestFetch(t.ID, uvm.FaultFetch)).
+	OnMiss(k int, t *dnn.Tensor)
+	// MakeRoom schedules evictions to free need bytes of GPU memory.
+	// pinned tensors (the current kernel's working set) must stay.
+	// Returns false if it cannot free anything further right now.
+	MakeRoom(need units.Bytes, pinned map[int]bool) bool
+	// UsesUVM: demand misses pay the GPU page-fault latency; overflowing
+	// working sets stream instead of failing.
+	UsesUVM() bool
+	// DirectFlash: SSD migrations bypass host software mediation
+	// (G10's extended UVM, FlashNeuron's GPUDirect Storage).
+	DirectFlash() bool
+}
+
+// tensorState tracks one tensor's placement and any in-flight migration.
+type tensorState struct {
+	t    *dnn.Tensor
+	loc  uvm.Location // Unmapped = not allocated
+	va   uint64
+	pend *uvm.Request // queued or flying request, nil if none
+	fly  *flownet.Flow
+	mig  *migration
+	// dying marks a tensor freed while its migration was in flight; the
+	// destination space is released on completion.
+	dying   bool
+	flash   ssd.LogicalRange
+	hasRng  bool
+	lastUse units.Time
+}
+
+// Machine is the simulated GPU/host/SSD system.
+type Machine struct {
+	cfg    Config
+	a      *vitality.Analysis
+	g      *dnn.Graph
+	pol    Policy
+	net    *flownet.Network
+	dev    *ssd.Device
+	pt     *uvm.PageTable
+	tlb    *uvm.TLB
+	queues uvm.Queues
+	arb    uvm.Arbiter
+
+	pcieIn, pcieOut    *flownet.Resource
+	ssdRead, ssdWrite  *flownet.Resource
+	hostBusIn, hostBus *flownet.Resource
+
+	states   []tensorState
+	gpuUsed  units.Bytes
+	hostUsed units.Bytes
+	ledger   traffic
+
+	// Counters (cumulative; the runner snapshots around the measured
+	// iteration).
+	faults        int64
+	faultedBytes  units.Bytes
+	overflowKerns int
+	overflowBytes units.Bytes
+	walkPenalty   units.Duration
+
+	failed     bool
+	failReason string
+}
+
+// migration is one in-progress tensor transfer. Transfers move in chunks
+// of Config.MigrationChunk (the arbiter's transfer sets, Figure 10): each
+// chunk is one flow; evictions release GPU memory chunk by chunk and
+// fetches claim it chunk by chunk, the way page-group migrations do.
+type migration struct {
+	id   int
+	kind uvm.RequestKind
+	src  uvm.Location
+	dst  uvm.Location
+	// size is the true tensor size; chunk the bytes of the flow currently
+	// in flight; moved the bytes already transferred. inflate models
+	// reduced effective throughput for on-demand or host-mediated paths.
+	size    units.Bytes
+	chunk   units.Bytes
+	moved   units.Bytes
+	inflate float64
+	// latency still to charge before the next chunk (first chunk only).
+	latency units.Duration
+}
+
+// NewMachine builds the system around an analysis (graph + trace).
+func NewMachine(a *vitality.Analysis, pol Policy, cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	dev, err := ssd.New(cfg.SSD)
+	if err != nil {
+		return nil, fmt.Errorf("gpu: %w", err)
+	}
+	m := &Machine{
+		cfg: cfg,
+		a:   a,
+		g:   a.Graph,
+		pol: pol,
+		net: flownet.New(),
+		dev: dev,
+		pt:  uvm.MustNewPageTable(cfg.TranslationGranularity),
+		tlb: uvm.MustNewTLB(64, 8, cfg.TranslationGranularity),
+		arb: uvm.Arbiter{MaxBatchBytes: 256 * units.MB},
+	}
+	m.pcieIn = m.net.AddResource("pcie-in", cfg.PCIeBandwidth)
+	m.pcieOut = m.net.AddResource("pcie-out", cfg.PCIeBandwidth)
+	m.ssdRead = m.net.AddResource("ssd-read", dev.EffectiveReadBandwidth())
+	m.ssdWrite = m.net.AddResource("ssd-write", dev.EffectiveWriteBandwidth())
+	m.hostBusIn = m.net.AddResource("hostmem-in", cfg.HostDRAMBandwidth)
+	m.hostBus = m.net.AddResource("hostmem-out", cfg.HostDRAMBandwidth)
+
+	m.states = make([]tensorState, len(m.g.Tensors))
+	var va uint64 = 1 << 21 // leave page zero unmapped
+	for id, t := range m.g.Tensors {
+		m.states[id] = tensorState{t: t, loc: uvm.Unmapped, va: va}
+		va += uint64(m.pagesOf(t)) * uint64(cfg.TranslationGranularity)
+	}
+	pol.Attach(m)
+	return m, nil
+}
+
+func (m *Machine) pagesOf(t *dnn.Tensor) int64 {
+	return units.PagesFor(t.Size, m.cfg.TranslationGranularity)
+}
+
+// ---- Introspection for policies ----
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Graph returns the workload graph.
+func (m *Machine) Graph() *dnn.Graph { return m.g }
+
+// Analysis returns the vitality analysis the run was set up with.
+func (m *Machine) Analysis() *vitality.Analysis { return m.a }
+
+// Now returns the simulation clock.
+func (m *Machine) Now() units.Time { return m.net.Now() }
+
+// Loc reports where tensor id currently lives.
+func (m *Machine) Loc(id int) uvm.Location { return m.states[id].loc }
+
+// InFlight reports whether tensor id has a queued or flying migration.
+func (m *Machine) InFlight(id int) bool { return m.states[id].pend != nil }
+
+// GPUFree reports unreserved GPU memory.
+func (m *Machine) GPUFree() units.Bytes { return m.cfg.GPUCapacity - m.gpuUsed }
+
+// HostFree reports unreserved host memory.
+func (m *Machine) HostFree() units.Bytes { return m.cfg.HostCapacity - m.hostUsed }
+
+// ResidentLRU lists GPU-resident tensors with no in-flight migration,
+// least recently used first.
+func (m *Machine) ResidentLRU() []int {
+	var ids []int
+	for id := range m.states {
+		st := &m.states[id]
+		if st.loc == uvm.InGPU && st.pend == nil {
+			ids = append(ids, id)
+		}
+	}
+	// Insertion sort by lastUse (lists are short-lived; simplicity over
+	// asymptotics is fine at these sizes).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && m.states[ids[j]].lastUse < m.states[ids[j-1]].lastUse; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// ---- Memory operations ----
+
+// alloc places an unallocated tensor into GPU memory. Reports false when
+// there is no room.
+func (m *Machine) alloc(id int) bool {
+	st := &m.states[id]
+	if st.loc != uvm.Unmapped {
+		return true
+	}
+	if m.gpuUsed+st.t.Size > m.cfg.GPUCapacity {
+		return false
+	}
+	m.gpuUsed += st.t.Size
+	st.loc = uvm.InGPU
+	st.lastUse = m.Now()
+	m.pt.MapRange(st.va, m.pagesOf(st.t), uvm.InGPU, st.va>>21)
+	return true
+}
+
+// seed places a tensor at simulation start: GPU if it fits, then host,
+// then flash. Used for the initial residency of global tensors.
+func (m *Machine) seed(id int) error {
+	st := &m.states[id]
+	if m.alloc(id) {
+		return nil
+	}
+	size := st.t.Size
+	if m.hostUsed+size <= m.cfg.HostCapacity {
+		m.hostUsed += size
+		st.loc = uvm.InHost
+		m.pt.MapRange(st.va, m.pagesOf(st.t), uvm.InHost, st.va>>21)
+		return nil
+	}
+	rng, err := m.dev.Alloc(m.dev.PagesFor(size))
+	if err != nil {
+		return fmt.Errorf("gpu: seeding %s: %w", st.t.Name, err)
+	}
+	st.flash, st.hasRng = rng, true
+	if _, err := m.dev.Write(rng); err != nil {
+		return fmt.Errorf("gpu: seeding %s: %w", st.t.Name, err)
+	}
+	st.loc = uvm.InFlash
+	m.pt.MapRange(st.va, m.pagesOf(st.t), uvm.InFlash, uint64(rng.Start))
+	return nil
+}
+
+// free releases a tensor wherever it lives. In-flight migrations mark the
+// tensor dying and release on completion.
+func (m *Machine) free(id int) {
+	st := &m.states[id]
+	if st.fly != nil {
+		st.dying = true
+		return
+	}
+	st.pend = nil // cancel anything queued
+	m.release(st)
+}
+
+func (m *Machine) release(st *tensorState) {
+	if mig := st.mig; mig != nil {
+		// A tensor freed mid-migration: return whatever the chunks hold.
+		if mig.kind == uvm.PreEvict {
+			m.gpuUsed -= mig.size - mig.moved // chunks still in GPU
+			if mig.dst == uvm.InHost {
+				m.hostUsed -= mig.size // reservation made at start
+			}
+		} else {
+			m.gpuUsed -= mig.moved + mig.chunk // chunks landed + reserved
+			if mig.src == uvm.InHost {
+				m.hostUsed -= mig.size
+			}
+		}
+		st.mig = nil
+		st.fly = nil
+		st.pend = nil
+		if st.hasRng {
+			m.dev.Free(st.flash)
+			st.hasRng = false
+		}
+		m.pt.UnmapRange(st.va, m.pagesOf(st.t))
+		m.tlb.InvalidateRange(st.va, m.pagesOf(st.t))
+		st.loc = uvm.Unmapped
+		st.dying = false
+		return
+	}
+	switch st.loc {
+	case uvm.InGPU:
+		m.gpuUsed -= st.t.Size
+	case uvm.InHost:
+		m.hostUsed -= st.t.Size
+	}
+	if st.hasRng {
+		m.dev.Free(st.flash)
+		st.hasRng = false
+	}
+	m.pt.UnmapRange(st.va, m.pagesOf(st.t))
+	m.tlb.InvalidateRange(st.va, m.pagesOf(st.t))
+	st.loc = uvm.Unmapped
+	st.dying = false
+}
+
+// RequestEvict queues a migration of a GPU-resident tensor to dst
+// (host or flash). Returns false when the tensor is not evictable now.
+func (m *Machine) RequestEvict(id int, dst uvm.Location) bool {
+	st := &m.states[id]
+	if st.loc != uvm.InGPU || st.pend != nil {
+		return false
+	}
+	if dst != uvm.InHost && dst != uvm.InFlash {
+		return false
+	}
+	r := &uvm.Request{Kind: uvm.PreEvict, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: uvm.InGPU, Dst: dst}
+	st.pend = r
+	m.queues.Push(r)
+	m.dispatch()
+	return true
+}
+
+// RequestFetch queues a migration of an evicted tensor back to the GPU.
+// kind selects demand (FaultFetch) or planned (Prefetch) semantics.
+func (m *Machine) RequestFetch(id int, kind uvm.RequestKind) bool {
+	return m.requestFetch(id, kind, false)
+}
+
+// RequestScheduledFetch queues a demand miss that the migration handler
+// services as a planned transfer: it jumps to the fault queue (the current
+// kernel is stalled on it) but runs at scheduled-transfer cost — how G10's
+// instrumented runtime handles a tensor whose prefetch is late (§4.6).
+func (m *Machine) RequestScheduledFetch(id int) bool {
+	return m.requestFetch(id, uvm.FaultFetch, true)
+}
+
+func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) bool {
+	st := &m.states[id]
+	if st.pend != nil {
+		if st.pend.Kind == uvm.PreEvict && st.fly == nil {
+			// Still queued, not started: cancel the eviction instead.
+			st.pend = nil
+			return true
+		}
+		if kind == uvm.FaultFetch && st.pend.Kind == uvm.Prefetch && st.fly == nil && st.mig == nil {
+			// Upgrade a queued (not yet started) prefetch to fault
+			// priority: the kernel is now blocked on it.
+			st.pend = nil
+		} else {
+			return false
+		}
+	}
+	if st.loc != uvm.InHost && st.loc != uvm.InFlash {
+		return false
+	}
+	r := &uvm.Request{Kind: kind, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: st.loc, Dst: uvm.InGPU, Scheduled: scheduled}
+	st.pend = r
+	m.queues.Push(r)
+	m.dispatch()
+	return true
+}
+
+// dispatch drains the migration metadata queues through the arbiter
+// (Figure 10 steps 2–4): transfer sets are formed fault-first; requests
+// that cannot start yet (a fetch with no free GPU memory) are requeued.
+func (m *Machine) dispatch() {
+	for {
+		set := m.arb.NextTransferSet(&m.queues)
+		if len(set) == 0 {
+			return
+		}
+		progress := false
+		for _, r := range set {
+			st := &m.states[r.TensorID]
+			if st.pend != r {
+				continue // stale: cancelled or superseded
+			}
+			if m.startFlow(r, st) {
+				progress = true
+			} else {
+				m.queues.Push(r)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// startFlow launches (or resumes) a migration. Returns false if the
+// request must wait: a fetch with no free GPU memory for its next chunk.
+// The first call decides the final destination, allocates flash space, and
+// computes latency and throughput inflation; subsequent calls continue the
+// chunk chain.
+func (m *Machine) startFlow(r *uvm.Request, st *tensorState) bool {
+	if st.mig == nil {
+		mig, ok := m.beginMigration(r, st)
+		if !ok {
+			return false
+		}
+		st.mig = mig
+	}
+	return m.startChunk(st)
+}
+
+// beginMigration performs the once-per-tensor setup of a migration.
+func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, bool) {
+	size := st.t.Size
+	mig := &migration{id: r.TensorID, kind: r.Kind, src: r.Src, dst: r.Dst, size: size, inflate: 1, latency: m.cfg.DMALatency}
+
+	switch r.Kind {
+	case uvm.PreEvict:
+		if mig.dst == uvm.InHost && m.hostUsed+size > m.cfg.HostCapacity {
+			mig.dst = uvm.InFlash // host full: fall back to the SSD
+		}
+		if mig.dst == uvm.InFlash {
+			if !st.hasRng {
+				rng, err := m.dev.Alloc(m.dev.PagesFor(size))
+				if err != nil {
+					m.fail(fmt.Sprintf("ssd alloc: %v", err))
+					return nil, false
+				}
+				st.flash = rng
+				st.hasRng = true
+			}
+			mig.latency += m.cfg.SSD.WriteLatency
+			if !m.pol.DirectFlash() {
+				mig.latency += m.cfg.HostMediationOverhead
+				mig.inflate = 1 / m.cfg.HostMediationEfficiency
+			}
+		} else {
+			m.hostUsed += size // reserve at start
+		}
+		r.Dst = mig.dst
+
+	case uvm.Prefetch, uvm.FaultFetch:
+		if mig.src == uvm.InFlash {
+			mig.latency += m.cfg.SSD.ReadLatency
+			if !m.pol.DirectFlash() {
+				mig.latency += m.cfg.HostMediationOverhead
+				mig.inflate = 1 / m.cfg.HostMediationEfficiency
+			}
+			if err := m.dev.Read(st.flash); err != nil {
+				m.fail(fmt.Sprintf("ssd read: %v", err))
+				return nil, false
+			}
+		}
+		if r.Kind == uvm.FaultFetch && !r.Scheduled {
+			// Demand misses run at on-demand efficiency. With the
+			// extended UVM (or a GPUDirect library) the miss is serviced
+			// directly; through the host UVM driver it pays the full
+			// fault round trip and a lower streaming efficiency.
+			if m.pol.DirectFlash() && mig.src == uvm.InFlash {
+				mig.latency += m.cfg.DirectFaultLatency
+				mig.inflate = 1 / m.cfg.DirectFaultEfficiency
+			} else {
+				if m.pol.UsesUVM() {
+					mig.latency += m.cfg.FaultLatency
+				}
+				mig.inflate = 1 / m.cfg.FaultEfficiency
+			}
+			m.faults++
+			m.faultedBytes += size
+		}
+	default:
+		return nil, false
+	}
+	return mig, true
+}
+
+// route returns the resources a migration's flows traverse.
+func (m *Machine) route(mig *migration) []*flownet.Resource {
+	switch {
+	case mig.kind == uvm.PreEvict && mig.dst == uvm.InFlash:
+		if m.pol.DirectFlash() {
+			return []*flownet.Resource{m.pcieOut, m.ssdWrite}
+		}
+		return []*flownet.Resource{m.pcieOut, m.ssdWrite, m.hostBus}
+	case mig.kind == uvm.PreEvict:
+		return []*flownet.Resource{m.pcieOut, m.hostBus}
+	case mig.src == uvm.InFlash:
+		if m.pol.DirectFlash() {
+			return []*flownet.Resource{m.ssdRead, m.pcieIn}
+		}
+		return []*flownet.Resource{m.ssdRead, m.pcieIn, m.hostBusIn}
+	default:
+		return []*flownet.Resource{m.hostBusIn, m.pcieIn}
+	}
+}
+
+// startChunk launches the next chunk of a migration. Fetch chunks claim
+// GPU memory up front and return false (leaving the request queued) when
+// none is free.
+func (m *Machine) startChunk(st *tensorState) bool {
+	mig := st.mig
+	chunk := m.cfg.MigrationChunk
+	if rem := mig.size - mig.moved; chunk > rem {
+		chunk = rem
+	}
+	if mig.kind != uvm.PreEvict {
+		if m.gpuUsed+chunk > m.cfg.GPUCapacity {
+			return false // wait for space
+		}
+		m.gpuUsed += chunk
+	}
+	mig.chunk = chunk
+	flowBytes := units.Bytes(float64(chunk) * mig.inflate)
+	lat := mig.latency
+	mig.latency = 0 // only the first chunk pays setup latency
+	st.fly = m.net.StartAt(fmt.Sprintf("%s:%s", mig.kind, st.t.Name), flowBytes, m.Now()+lat, mig, m.route(mig)...)
+	return true
+}
+
+func (m *Machine) fail(reason string) {
+	if !m.failed {
+		m.failed = true
+		m.failReason = reason
+	}
+}
+
+// onComplete advances a migration when one of its chunk flows finishes:
+// intermediate chunks release (evict) GPU memory and continue the chain;
+// the final chunk commits the location change, device write, page-table
+// update and TLB shootdown.
+func (m *Machine) onComplete(f *flownet.Flow) {
+	mig, ok := f.Data.(*migration)
+	if !ok {
+		return
+	}
+	st := &m.states[mig.id]
+	if st.fly != f || st.mig != mig {
+		return // superseded (freed tensor)
+	}
+	st.fly = nil
+	mig.moved += mig.chunk
+	if mig.kind == uvm.PreEvict {
+		m.gpuUsed -= mig.chunk
+		if mig.dst == uvm.InFlash {
+			m.ledger.ssdOut += mig.chunk
+		} else {
+			m.ledger.hostOut += mig.chunk
+		}
+	} else {
+		if mig.src == uvm.InFlash {
+			m.ledger.ssdIn += mig.chunk
+		} else {
+			m.ledger.hostIn += mig.chunk
+		}
+	}
+	mig.chunk = 0
+
+	if st.dying {
+		// Freed mid-migration: unwind partial state and stop the chain.
+		m.release(st)
+		return
+	}
+	if mig.moved < mig.size {
+		// Continue the chain. A blocked fetch chunk goes back to its
+		// metadata queue and resumes when memory frees.
+		if !m.startChunk(st) {
+			m.queues.Push(st.pend)
+		}
+		return
+	}
+
+	// Final chunk: commit.
+	st.mig = nil
+	st.pend = nil
+	pages := m.pagesOf(st.t)
+	switch mig.kind {
+	case uvm.PreEvict:
+		st.loc = mig.dst
+		if mig.dst == uvm.InFlash {
+			if _, err := m.dev.Write(st.flash); err != nil {
+				m.fail(fmt.Sprintf("ssd write: %v", err))
+				return
+			}
+			// GC activity degrades sustained write bandwidth.
+			m.net.SetCapacity(m.ssdWrite, m.dev.EffectiveWriteBandwidth())
+			m.pt.MapRange(st.va, pages, uvm.InFlash, uint64(st.flash.Start))
+		} else {
+			m.pt.MapRange(st.va, pages, uvm.InHost, st.va>>21)
+		}
+	case uvm.Prefetch, uvm.FaultFetch:
+		if mig.src == uvm.InHost {
+			m.hostUsed -= mig.size
+		}
+		st.loc = uvm.InGPU
+		st.lastUse = m.Now()
+		m.pt.MapRange(st.va, pages, uvm.InGPU, st.va>>21)
+	}
+	m.tlb.InvalidateRange(st.va, pages)
+	if st.dying {
+		m.release(st)
+	}
+}
+
+// cancelStalledFetches rolls back partially completed fetches that are
+// blocked on memory for tensors outside the pinned set, releasing the GPU
+// bytes their completed chunks hold. Copies are non-destructive, so the
+// source copy is still intact; the queued request restarts the migration
+// later. Returns the bytes released.
+func (m *Machine) cancelStalledFetches(pinned map[int]bool) units.Bytes {
+	var freed units.Bytes
+	for id := range m.states {
+		st := &m.states[id]
+		mig := st.mig
+		if mig == nil || mig.kind == uvm.PreEvict || st.fly != nil || pinned[id] {
+			continue
+		}
+		// Blocked mid-fetch: release landed chunks; the tensor is still
+		// whole at its source. Drop the request too, so the retry does
+		// not immediately reclaim the freed memory ahead of the blocked
+		// kernel's own fetches (the policy re-issues it later).
+		m.gpuUsed -= mig.moved
+		freed += mig.moved
+		st.mig = nil
+		st.pend = nil
+	}
+	return freed
+}
+
+// advanceTo moves simulated time forward, completing flows on the way.
+func (m *Machine) advanceTo(t units.Time) {
+	for _, f := range m.net.AdvanceTo(t) {
+		m.onComplete(f)
+	}
+	m.dispatch()
+}
+
+// waitNext advances to the next network event; reports false if the
+// network is idle (nothing will ever complete).
+func (m *Machine) waitNext() bool {
+	e := m.net.NextEvent()
+	if e == units.Forever {
+		return false
+	}
+	m.advanceTo(e)
+	return true
+}
+
+// touch records a use for LRU ordering and models the translation lookup.
+func (m *Machine) touch(id int) {
+	st := &m.states[id]
+	st.lastUse = m.Now()
+	if _, hit := m.tlb.Lookup(st.va); !hit {
+		m.walkPenalty += m.cfg.PTWalkLatency
+		if pte, ok := m.pt.Translate(st.va); ok {
+			m.tlb.Insert(st.va, pte)
+		}
+	}
+}

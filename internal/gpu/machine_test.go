@@ -1,0 +1,333 @@
+package gpu
+
+import (
+	"testing"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/profile"
+	"g10sim/internal/units"
+	"g10sim/internal/uvm"
+	"g10sim/internal/vitality"
+)
+
+// twoTensorMachine builds a machine over a minimal graph with two
+// intermediates (A: 100MB, B: 50MB) plus a weight, for direct migration
+// engine tests.
+func twoTensorMachine(t *testing.T, cfg Config) (*Machine, map[string]int) {
+	t.Helper()
+	b := dnn.NewBuilder("m", 1)
+	w := b.Tensor("W", dnn.Global, 10*units.MB)
+	a := b.Tensor("A", dnn.Intermediate, 100*units.MB)
+	bb := b.Tensor("B", dnn.Intermediate, 50*units.MB)
+	b.Kernel("k0", dnn.Forward, 1, []*dnn.Tensor{w}, []*dnn.Tensor{a, bb})
+	b.Kernel("k1", dnn.Backward, 1, []*dnn.Tensor{a, bb, w}, []*dnn.Tensor{bb})
+	g := b.MustBuild()
+	an, err := vitality.Analyze(g, &profile.Trace{Durations: []units.Duration{units.Millisecond, units.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(an, &testPolicy{name: "t"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]int{}
+	for id, tensor := range g.Tensors {
+		ids[tensor.Name] = id
+	}
+	return m, ids
+}
+
+func TestMachineAllocFree(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, units.GB))
+	if !m.alloc(ids["A"]) {
+		t.Fatal("alloc A failed")
+	}
+	if m.Loc(ids["A"]) != uvm.InGPU {
+		t.Error("A not in GPU")
+	}
+	if m.GPUFree() != 100*units.MB {
+		t.Errorf("GPUFree = %v, want 100MB", m.GPUFree())
+	}
+	m.free(ids["A"])
+	if m.Loc(ids["A"]) != uvm.Unmapped {
+		t.Error("A not freed")
+	}
+	if m.GPUFree() != 200*units.MB {
+		t.Errorf("GPUFree after free = %v", m.GPUFree())
+	}
+}
+
+func TestMachineAllocRespectsCapacity(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(120*units.MB, units.GB))
+	if !m.alloc(ids["A"]) {
+		t.Fatal("alloc A failed")
+	}
+	if m.alloc(ids["B"]) {
+		t.Error("alloc B succeeded beyond capacity")
+	}
+}
+
+func TestChunkedEvictionFreesIncrementally(t *testing.T) {
+	cfg := testCfg(200*units.MB, units.GB)
+	cfg.MigrationChunk = 10 * units.MB
+	m, ids := twoTensorMachine(t, cfg)
+	m.alloc(ids["A"])
+	if !m.RequestEvict(ids["A"], uvm.InHost) {
+		t.Fatal("evict rejected")
+	}
+	free0 := m.GPUFree()
+	// Advance through a few chunk completions: free memory must grow
+	// strictly before the whole tensor is gone.
+	var sawPartial bool
+	for i := 0; i < 20 && m.Loc(ids["A"]) == uvm.InGPU; i++ {
+		if !m.waitNext() {
+			break
+		}
+		f := m.GPUFree()
+		if f > free0 && f < 200*units.MB {
+			sawPartial = true
+		}
+	}
+	if !sawPartial {
+		t.Error("eviction did not free memory chunk by chunk")
+	}
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		if !m.waitNext() {
+			t.Fatal("eviction never completed")
+		}
+	}
+	if m.Loc(ids["A"]) != uvm.InHost {
+		t.Errorf("A at %v after eviction", m.Loc(ids["A"]))
+	}
+	if m.GPUFree() != 200*units.MB {
+		t.Errorf("GPUFree = %v after full eviction", m.GPUFree())
+	}
+	if m.ledger.hostOut != 100*units.MB {
+		t.Errorf("ledger hostOut = %v", m.ledger.hostOut)
+	}
+}
+
+func TestEvictionFallsBackToFlashWhenHostFull(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, 20*units.MB))
+	m.alloc(ids["A"]) // 100MB > 20MB host capacity
+	if !m.RequestEvict(ids["A"], uvm.InHost) {
+		t.Fatal("evict rejected")
+	}
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		if !m.waitNext() {
+			t.Fatal("eviction stuck")
+		}
+	}
+	if m.Loc(ids["A"]) != uvm.InFlash {
+		t.Errorf("A at %v, want flash fallback", m.Loc(ids["A"]))
+	}
+	if m.ledger.ssdOut != 100*units.MB {
+		t.Errorf("ssdOut = %v", m.ledger.ssdOut)
+	}
+}
+
+func TestFetchRoundTripRestoresResidency(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, units.GB))
+	m.alloc(ids["A"])
+	m.RequestEvict(ids["A"], uvm.InFlash)
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		m.waitNext()
+	}
+	if !m.RequestFetch(ids["A"], uvm.Prefetch) {
+		t.Fatal("fetch rejected")
+	}
+	for m.Loc(ids["A"]) != uvm.InGPU {
+		if !m.waitNext() {
+			t.Fatal("fetch stuck")
+		}
+	}
+	if m.ledger.ssdIn != 100*units.MB || m.ledger.ssdOut != 100*units.MB {
+		t.Errorf("ledger ssd in/out = %v/%v", m.ledger.ssdIn, m.ledger.ssdOut)
+	}
+	// Flash copy space is retained (sticky range) until death.
+	st := &m.states[ids["A"]]
+	if !st.hasRng {
+		t.Error("flash range released on fetch; should stay for re-eviction")
+	}
+}
+
+func TestFetchCancelsQueuedEviction(t *testing.T) {
+	cfg := testCfg(200*units.MB, units.GB)
+	m, ids := twoTensorMachine(t, cfg)
+	m.alloc(ids["A"])
+	m.alloc(ids["B"])
+	// Queue two evictions; the second (B) sits behind A in the queue only
+	// until dispatch, so instead grab the not-yet-flying state by
+	// requesting and immediately re-fetching.
+	m.RequestEvict(ids["A"], uvm.InHost)
+	// A's first chunk flies immediately; a fetch request now must report
+	// false (migration in progress) rather than corrupt state.
+	if m.RequestFetch(ids["A"], uvm.Prefetch) {
+		t.Error("fetch accepted while eviction flying")
+	}
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		m.waitNext()
+	}
+}
+
+func TestScheduledFetchDoesNotCountAsFault(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, units.GB))
+	m.alloc(ids["A"])
+	m.RequestEvict(ids["A"], uvm.InFlash)
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		m.waitNext()
+	}
+	if !m.RequestScheduledFetch(ids["A"]) {
+		t.Fatal("scheduled fetch rejected")
+	}
+	for m.Loc(ids["A"]) != uvm.InGPU {
+		m.waitNext()
+	}
+	if m.faults != 0 {
+		t.Errorf("scheduled fetch counted %d faults", m.faults)
+	}
+}
+
+func TestFaultFetchCountsAndInflates(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, units.GB))
+	m.alloc(ids["A"])
+	m.RequestEvict(ids["A"], uvm.InHost)
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		m.waitNext()
+	}
+	start := m.Now()
+	m.RequestFetch(ids["A"], uvm.FaultFetch)
+	for m.Loc(ids["A"]) != uvm.InGPU {
+		m.waitNext()
+	}
+	if m.faults != 1 || m.faultedBytes != 100*units.MB {
+		t.Errorf("faults=%d bytes=%v", m.faults, m.faultedBytes)
+	}
+	faultTime := m.Now() - start
+	// At FaultEfficiency 0.18, the transfer must take several times the
+	// full-bandwidth time (100MB at 15.75GB/s ≈ 6.2ms).
+	fullTime := units.TransferTime(100*units.MB, m.cfg.PCIeBandwidth)
+	if faultTime < 3*fullTime {
+		t.Errorf("fault fetch took %v; expected at least 3x the full-rate %v", faultTime, fullTime)
+	}
+}
+
+func TestFreeDuringMigrationUnwinds(t *testing.T) {
+	cfg := testCfg(200*units.MB, units.GB)
+	cfg.MigrationChunk = 10 * units.MB
+	m, ids := twoTensorMachine(t, cfg)
+	m.alloc(ids["A"])
+	m.RequestEvict(ids["A"], uvm.InHost)
+	m.waitNext() // let a chunk or two land
+	m.free(ids["A"])
+	// Run the network dry; all accounting must return to zero.
+	for m.waitNext() {
+	}
+	if m.Loc(ids["A"]) != uvm.Unmapped {
+		t.Errorf("A at %v after free", m.Loc(ids["A"]))
+	}
+	if m.gpuUsed != 0 { // the weight is never seeded in this direct-machine test
+		t.Errorf("gpuUsed = %v, want 0", m.gpuUsed)
+	}
+	if m.hostUsed != 0 {
+		t.Errorf("hostUsed = %v, want 0", m.hostUsed)
+	}
+}
+
+func TestPageTableTracksMigrations(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, units.GB))
+	m.alloc(ids["A"])
+	st := &m.states[ids["A"]]
+	if loc, ok := m.pt.RangeLocation(st.va, m.pagesOf(st.t)); !ok || loc != uvm.InGPU {
+		t.Fatalf("page table after alloc: %v %v", loc, ok)
+	}
+	m.RequestEvict(ids["A"], uvm.InFlash)
+	for m.Loc(ids["A"]) == uvm.InGPU {
+		m.waitNext()
+	}
+	if loc, ok := m.pt.RangeLocation(st.va, m.pagesOf(st.t)); !ok || loc != uvm.InFlash {
+		t.Errorf("page table after eviction: %v %v (G10's flash PTEs)", loc, ok)
+	}
+}
+
+func TestSeedPlacement(t *testing.T) {
+	// Globals that fit go to GPU, then host, then flash.
+	b := dnn.NewBuilder("seeds", 1)
+	w1 := b.Tensor("w1", dnn.Global, 60*units.MB)
+	w2 := b.Tensor("w2", dnn.Global, 60*units.MB)
+	w3 := b.Tensor("w3", dnn.Global, 60*units.MB)
+	x := b.Tensor("x", dnn.Intermediate, units.MB)
+	b.Kernel("k", dnn.Forward, 1, []*dnn.Tensor{w1, w2, w3, x}, []*dnn.Tensor{x})
+	g := b.MustBuild()
+	an, _ := vitality.Analyze(g, &profile.Trace{Durations: []units.Duration{units.Millisecond}})
+	m, err := NewMachine(an, &testPolicy{name: "t"}, testCfg(100*units.MB, 100*units.MB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range g.Tensors {
+		if g.Tensors[id].Kind != dnn.Global {
+			continue
+		}
+		if err := m.seed(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	locs := []uvm.Location{m.Loc(0), m.Loc(1), m.Loc(2)}
+	want := []uvm.Location{uvm.InGPU, uvm.InHost, uvm.InFlash}
+	for i := range want {
+		if locs[i] != want[i] {
+			t.Errorf("w%d at %v, want %v", i+1, locs[i], want[i])
+		}
+	}
+}
+
+func TestResidentLRUOrder(t *testing.T) {
+	m, ids := twoTensorMachine(t, testCfg(200*units.MB, units.GB))
+	m.alloc(ids["A"])
+	m.advanceTo(m.Now() + units.Millisecond)
+	m.alloc(ids["B"])
+	m.advanceTo(m.Now() + units.Millisecond)
+	m.touch(ids["A"]) // A becomes most recent
+	lru := m.ResidentLRU()
+	// W was seeded never... W not allocated here (no seeding in this path).
+	if len(lru) < 2 {
+		t.Fatalf("LRU = %v", lru)
+	}
+	if lru[len(lru)-1] != ids["A"] {
+		t.Errorf("most recently used should be A, got order %v", lru)
+	}
+}
+
+func TestGCDegradesSSDWriteCapacity(t *testing.T) {
+	// Shrink the device so the round trips churn it.
+	cfg := testCfg(200*units.MB, units.MB)
+	sc := cfg.SSD
+	sc.Capacity = 256 * units.MB
+	sc.PageSize = 64 * units.KB
+	sc.OverProvision = 0.08
+	cfg.SSD = sc
+	m, ids := twoTensorMachine(t, cfg)
+	before := m.ssdWrite.Capacity()
+	// Repeated evict/fetch cycles of A (100MB on a 256MB device).
+	for cycle := 0; cycle < 8; cycle++ {
+		m.alloc(ids["A"])
+		m.RequestEvict(ids["A"], uvm.InFlash)
+		for m.Loc(ids["A"]) != uvm.InFlash {
+			if !m.waitNext() {
+				t.Fatal("evict stuck")
+			}
+		}
+		m.RequestFetch(ids["A"], uvm.Prefetch)
+		for m.Loc(ids["A"]) != uvm.InGPU {
+			if !m.waitNext() {
+				t.Fatal("fetch stuck")
+			}
+		}
+		m.free(ids["A"])
+		m.states[ids["A"]].loc = uvm.Unmapped
+	}
+	after := m.ssdWrite.Capacity()
+	if after > before {
+		t.Errorf("SSD write capacity rose: %v -> %v", before, after)
+	}
+}

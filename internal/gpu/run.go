@@ -1,0 +1,408 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/planner"
+	"g10sim/internal/profile"
+	"g10sim/internal/units"
+	"g10sim/internal/uvm"
+	"g10sim/internal/vitality"
+)
+
+// traffic is the machine's migration ledger in true tensor bytes (fault
+// flows are inflated on the wire to model degraded on-demand bandwidth, so
+// flownet's per-resource byte counters are not ground truth for volume).
+type traffic struct {
+	ssdIn, ssdOut, hostIn, hostOut units.Bytes
+}
+
+// ProgramBuilder lets each policy supply its instrumented program: the G10
+// variants return the planner's output; reactive baselines return the
+// alloc/free-only program; FlashNeuron builds its own offline offload plan.
+type ProgramBuilder interface {
+	Program(a *vitality.Analysis, cfg Config) *planner.Program
+}
+
+// RunParams bundles one simulation's inputs.
+type RunParams struct {
+	Analysis *vitality.Analysis
+	Policy   Policy
+	Config   Config
+	// ExecTrace supplies the true kernel durations when they differ from
+	// the (possibly perturbed) trace the plan was derived from (Fig. 19).
+	// nil uses Analysis.Trace.
+	ExecTrace *profile.Trace
+}
+
+// Run simulates the workload and returns the measured-iteration result.
+func Run(p RunParams) (Result, error) {
+	cfg := p.Config.withDefaults()
+	a := p.Analysis
+	exec := p.ExecTrace
+	if exec == nil {
+		exec = a.Trace
+	}
+	if len(exec.Durations) != len(a.Graph.Kernels) {
+		return Result{}, fmt.Errorf("gpu: exec trace has %d kernels, graph has %d",
+			len(exec.Durations), len(a.Graph.Kernels))
+	}
+	var program *planner.Program
+	if pb, ok := p.Policy.(ProgramBuilder); ok {
+		program = pb.Program(a, cfg)
+	}
+	if program == nil {
+		program = planner.EmptyProgram(a)
+	}
+
+	m, err := NewMachine(a, p.Policy, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r := &runner{m: m, cfg: cfg, program: program, exec: exec}
+	return r.run()
+}
+
+type runner struct {
+	m       *Machine
+	cfg     Config
+	program *planner.Program
+	exec    *profile.Trace
+
+	// Measured-iteration snapshots.
+	iterStart    units.Time
+	ledger0      traffic
+	faults0      int64
+	faultBytes0  units.Bytes
+	overflow0    units.Bytes
+	overflowK0   int
+	kernelEnds   []units.Time
+	measuredIter bool
+}
+
+func (r *runner) run() (Result, error) {
+	m := r.m
+	n := len(m.g.Kernels)
+
+	// Global (weight) tensors are allocated in the unified space at
+	// program start; those that do not fit in GPU memory start in host
+	// memory (or flash), exactly as a first-touch UVM program would find
+	// them.
+	for id, t := range m.g.Tensors {
+		if t.Kind != dnn.Global {
+			continue
+		}
+		if err := m.seed(id); err != nil {
+			return Result{}, err
+		}
+	}
+
+	for iter := 0; iter < r.cfg.Iterations; iter++ {
+		last := iter == r.cfg.Iterations-1
+		if last {
+			r.beginMeasurement()
+		}
+		for k := 0; k < n; k++ {
+			r.boundary(iter, k)
+			if err := r.kernel(iter, k, last); err != nil {
+				return r.result(), err
+			}
+			if m.failed {
+				res := r.result()
+				res.Failed = true
+				res.FailReason = m.failReason
+				return res, nil
+			}
+		}
+		r.boundary(iter, n)
+	}
+	return r.result(), nil
+}
+
+func (r *runner) beginMeasurement() {
+	r.measuredIter = true
+	r.iterStart = r.m.Now()
+	r.ledger0 = r.m.ledger
+	r.faults0 = r.m.faults
+	r.faultBytes0 = r.m.faultedBytes
+	r.overflow0 = r.m.overflowBytes
+	r.overflowK0 = r.m.overflowKerns
+	r.kernelEnds = r.kernelEnds[:0]
+}
+
+// boundary executes the program's instrumentation at boundary b, then the
+// policy's dynamic hook.
+func (r *runner) boundary(iter, b int) {
+	m := r.m
+	for _, in := range r.program.Boundaries[b] {
+		id := in.Tensor.ID
+		switch in.Kind {
+		case planner.OpFree:
+			m.free(id)
+		case planner.OpPreEvict:
+			m.RequestEvict(id, in.Target)
+		case planner.OpAlloc:
+			// Best effort; the kernel-start path retries with eviction.
+			m.alloc(id)
+		case planner.OpPrefetch:
+			m.RequestFetch(id, uvm.Prefetch)
+		}
+	}
+	m.dispatch()
+	m.pol.AtBoundary(iter, b)
+}
+
+// kernel waits for kernel k's working set and executes it.
+func (r *runner) kernel(iter, k int, measured bool) error {
+	m := r.m
+	kern := m.g.Kernels[k]
+	penalty, err := r.ensureWorkingSet(k, kern)
+	if err != nil {
+		return err
+	}
+	if m.failed {
+		return nil
+	}
+
+	// Touch for LRU and model the translation lookups (the accumulated
+	// walk penalty is reported as a statistic; at 4KB-page × 600ns it is
+	// negligible against kernel durations and is not charged to time).
+	for _, t := range kern.Tensors() {
+		m.touch(t.ID)
+	}
+	dur := r.exec.Durations[k] + penalty
+	m.advanceTo(m.Now() + dur)
+	if measured {
+		r.kernelEnds = append(r.kernelEnds, m.Now())
+	}
+	return nil
+}
+
+// ensureWorkingSet blocks until every tensor of kernel k is resident,
+// driving allocation, demand fetches, and policy evictions. When the
+// working set cannot fit at all it returns the overflow streaming penalty
+// (UVM policies) or fails the run (non-UVM).
+func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, error) {
+	m := r.m
+	tensors := kern.Tensors()
+	pinned := make(map[int]bool, len(tensors))
+	for _, t := range tensors {
+		pinned[t.ID] = true
+	}
+
+	for {
+		ready := true
+		var allocDeficit units.Bytes
+		for _, t := range tensors {
+			st := &m.states[t.ID]
+			switch {
+			case st.loc == uvm.InGPU && st.fly == nil:
+				if st.pend != nil && st.pend.Kind == uvm.PreEvict {
+					st.pend = nil // cancel a queued eviction of a needed tensor
+				}
+			case st.loc == uvm.InGPU: // eviction in flight; must drain first
+				ready = false
+			case st.loc == uvm.Unmapped:
+				if !m.alloc(t.ID) {
+					ready = false
+					allocDeficit += t.Size
+				}
+			default: // InHost or InFlash
+				ready = false
+				if st.pend == nil {
+					m.pol.OnMiss(k, t)
+				}
+			}
+		}
+		if ready {
+			return 0, nil
+		}
+
+		// Ask the policy to free memory beyond what in-flight evictions
+		// will already release.
+		deficit := allocDeficit + r.pendingFetchBytes() - m.GPUFree() - r.inflightEvictBytes()
+		if deficit > 0 {
+			m.pol.MakeRoom(deficit, pinned)
+			m.dispatch()
+		}
+
+		if !m.waitNext() {
+			// Nothing in flight and still blocked. Partially landed
+			// fetches for other kernels may be wedging memory; roll them
+			// back before declaring the working set unfittable.
+			if m.cancelStalledFetches(pinned) > 0 {
+				m.dispatch()
+				continue
+			}
+			return r.streamOverflow(kern, pinned)
+		}
+		if m.failed {
+			return 0, nil
+		}
+	}
+}
+
+func (r *runner) pendingFetchBytes() units.Bytes {
+	var b units.Bytes
+	for id := range r.m.states {
+		st := &r.m.states[id]
+		if st.pend != nil && st.pend.Kind != uvm.PreEvict && st.fly == nil {
+			b += st.t.Size
+		}
+	}
+	return b
+}
+
+func (r *runner) inflightEvictBytes() units.Bytes {
+	var b units.Bytes
+	for id := range r.m.states {
+		st := &r.m.states[id]
+		if st.pend != nil && st.pend.Kind == uvm.PreEvict {
+			b += st.t.Size
+		}
+	}
+	return b
+}
+
+// streamOverflow models a kernel whose working set exceeds GPU memory.
+// UVM-based systems execute it anyway, faulting pages through the PCIe
+// link at on-demand efficiency (inputs stream in, outputs stream out);
+// FlashNeuron-style managers cannot, reproducing the paper's footnote 1.
+func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Duration, error) {
+	m := r.m
+	if !m.pol.UsesUVM() {
+		m.fail(fmt.Sprintf("kernel %s working set %v exceeds GPU memory %v",
+			kern.Name, kern.WorkingSet(), m.cfg.GPUCapacity))
+		return 0, nil
+	}
+
+	var streamed []*dnn.Tensor
+	var streamBytes units.Bytes
+	for _, t := range kern.Tensors() {
+		st := &m.states[t.ID]
+		if st.loc == uvm.InGPU {
+			continue
+		}
+		st.pend = nil // cancel whatever was queued; the stream covers it
+		streamed = append(streamed, t)
+		streamBytes += t.Size
+	}
+	if len(streamed) == 0 {
+		// Defensive: resident but deadlocked (should not happen).
+		return 0, fmt.Errorf("gpu: kernel %s deadlocked with full residency", kern.Name)
+	}
+
+	// Unallocated outputs must land somewhere once the kernel finishes.
+	for _, t := range streamed {
+		st := &m.states[t.ID]
+		if st.loc != uvm.Unmapped {
+			continue
+		}
+		if m.hostUsed+t.Size <= m.cfg.HostCapacity {
+			m.hostUsed += t.Size
+			st.loc = uvm.InHost
+			m.pt.MapRange(st.va, m.pagesOf(t), uvm.InHost, st.va>>21)
+			r.addTraffic(uvm.InHost, t.Size, false)
+		} else {
+			rng, err := m.dev.Alloc(m.dev.PagesFor(t.Size))
+			if err != nil {
+				return 0, fmt.Errorf("gpu: overflow spill: %w", err)
+			}
+			st.flash, st.hasRng = rng, true
+			if _, err := m.dev.Write(rng); err != nil {
+				return 0, fmt.Errorf("gpu: overflow spill: %w", err)
+			}
+			st.loc = uvm.InFlash
+			m.pt.MapRange(st.va, m.pagesOf(t), uvm.InFlash, uint64(rng.Start))
+			r.addTraffic(uvm.InFlash, t.Size, false)
+		}
+	}
+	// Inputs stream in once and their dirty pages stream back out.
+	for _, t := range streamed {
+		st := &m.states[t.ID]
+		if st.loc == uvm.InHost || st.loc == uvm.InFlash {
+			r.addTraffic(st.loc, t.Size, true)
+		}
+	}
+
+	effBW := units.Bandwidth(float64(m.cfg.PCIeBandwidth) * m.cfg.FaultEfficiency)
+	penalty := 2 * units.TransferTime(streamBytes, effBW)
+	faultGroups := int64(units.PagesFor(streamBytes, 32*units.MB))
+	penalty += units.Duration(faultGroups) * m.cfg.FaultLatency
+
+	m.faults += faultGroups
+	m.faultedBytes += streamBytes
+	m.overflowKerns++
+	m.overflowBytes += streamBytes
+	return penalty, nil
+}
+
+// addTraffic records streamed bytes in the ledger (in = toward GPU).
+func (r *runner) addTraffic(loc uvm.Location, n units.Bytes, in bool) {
+	switch {
+	case loc == uvm.InFlash && in:
+		r.m.ledger.ssdIn += n
+	case loc == uvm.InFlash:
+		r.m.ledger.ssdOut += n
+	case in:
+		r.m.ledger.hostIn += n
+	default:
+		r.m.ledger.hostOut += n
+	}
+}
+
+func (r *runner) result() Result {
+	m := r.m
+	res := Result{
+		Model:  m.g.Name,
+		Batch:  m.g.Batch,
+		Policy: m.pol.Name(),
+	}
+	res.IdealTime = r.exec.Total()
+	if r.measuredIter {
+		end := m.Now()
+		if len(r.kernelEnds) > 0 {
+			end = r.kernelEnds[len(r.kernelEnds)-1]
+		}
+		res.IterationTime = end - r.iterStart
+		res.StallTime = res.IterationTime - res.IdealTime
+		if res.StallTime < 0 {
+			res.StallTime = 0
+		}
+		res.KernelTimes = make([]units.Duration, len(r.kernelEnds))
+		prev := r.iterStart
+		for i, e := range r.kernelEnds {
+			res.KernelTimes[i] = e - prev
+			prev = e
+		}
+		res.SSDToGPU = m.ledger.ssdIn - r.ledger0.ssdIn
+		res.GPUToSSD = m.ledger.ssdOut - r.ledger0.ssdOut
+		res.HostToGPU = m.ledger.hostIn - r.ledger0.hostIn
+		res.GPUToHost = m.ledger.hostOut - r.ledger0.hostOut
+		res.Faults = m.faults - r.faults0
+		res.FaultedBytes = m.faultedBytes - r.faultBytes0
+		res.FaultedPages = int64(units.PagesFor(res.FaultedBytes, r.cfg.PageSize))
+		res.OverflowBytes = m.overflowBytes - r.overflow0
+		res.OverflowKernels = m.overflowKerns - r.overflowK0
+	}
+	res.SSDStats = m.dev.Stats()
+	res.WriteAmp = m.dev.WriteAmplification()
+	res.TLBHitRate = m.tlb.HitRate()
+	return res
+}
+
+// SlowdownCDF summarises per-kernel slowdowns versus the ideal trace
+// (Fig. 13): the returned slice is sorted ascending.
+func SlowdownCDF(res Result, exec *profile.Trace) []float64 {
+	if len(res.KernelTimes) == 0 {
+		return nil
+	}
+	out := make([]float64, len(res.KernelTimes))
+	for i := range res.KernelTimes {
+		out[i] = float64(res.KernelTimes[i]) / float64(exec.Durations[i])
+	}
+	sort.Float64s(out)
+	return out
+}

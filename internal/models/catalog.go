@@ -1,0 +1,145 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+// Spec describes one workload from Table 1 of the paper, including the two
+// calibration constants that substitute for the authors' real A100 traces
+// (see DESIGN.md §1):
+//
+//   - SizeScale multiplies intermediate/workspace tensor sizes so the
+//     model's total footprint at the paper's batch size matches the paper's
+//     reported M% of GPU memory (Fig. 11 captions).
+//   - TimeScale multiplies roofline kernel durations so the Ideal iteration
+//     time matches the paper's Ideal throughput (Fig. 15).
+type Spec struct {
+	Name         string
+	PaperKernels int     // Table 1 kernel count
+	PaperBatch   int     // batch size used in Fig. 11
+	PaperMemPct  float64 // Fig. 11 caption: footprint / 40GB GPU memory ×100
+	SizeScale    float64
+	TimeScale    float64
+	// PaperIdealRate is the Ideal throughput (examples/sec) read from
+	// Fig. 15 at PaperBatch, the TimeScale calibration target.
+	PaperIdealRate float64
+	// BatchSweep lists the batch sizes of Fig. 15.
+	BatchSweep []int
+
+	build func(batch int, sizeScale float64) *dnn.Graph
+}
+
+// Build constructs the training-iteration graph at the given batch size.
+func (s Spec) Build(batch int) *dnn.Graph {
+	if batch <= 0 {
+		batch = s.PaperBatch
+	}
+	return s.build(batch, s.SizeScale)
+}
+
+// PaperFootprint reports the absolute footprint the paper's M% implies
+// against the 40 GB A100.
+func (s Spec) PaperFootprint() units.Bytes {
+	return units.Bytes(s.PaperMemPct / 100 * float64(40*units.GB))
+}
+
+// catalog lists the five evaluated workloads. SizeScale/TimeScale values are
+// the calibration results recorded in EXPERIMENTS.md.
+var catalog = []Spec{
+	{
+		Name:           "BERT",
+		PaperKernels:   1368,
+		PaperBatch:     256,
+		PaperMemPct:    370.10,
+		PaperIdealRate: 55,
+		BatchSweep:     []int{128, 256, 512, 768, 1024},
+		SizeScale:      2.0,
+		TimeScale:      2.0707,
+		build: func(batch int, ss float64) *dnn.Graph {
+			return BERTBase(TransformerConfig{Batch: batch, SizeScale: ss})
+		},
+	},
+	{
+		Name:           "ViT",
+		PaperKernels:   1435,
+		PaperBatch:     1280,
+		PaperMemPct:    461.11,
+		PaperIdealRate: 380,
+		BatchSweep:     []int{256, 512, 768, 1024, 1280},
+		SizeScale:      1.5,
+		TimeScale:      0.7985,
+		build: func(batch int, ss float64) *dnn.Graph {
+			return ViTBase(TransformerConfig{Batch: batch, SizeScale: ss})
+		},
+	},
+	{
+		Name:           "Inceptionv3",
+		PaperKernels:   740,
+		PaperBatch:     1536,
+		PaperMemPct:    1969.46,
+		PaperIdealRate: 33,
+		BatchSweep:     []int{512, 768, 1024, 1280, 1536, 1792},
+		SizeScale:      0.90,
+		TimeScale:      6.7373,
+		build: func(batch int, ss float64) *dnn.Graph {
+			return Inceptionv3(InceptionConfig{Batch: batch, SizeScale: ss})
+		},
+	},
+	{
+		Name:           "ResNet152",
+		PaperKernels:   1298,
+		PaperBatch:     1280,
+		PaperMemPct:    2715.45,
+		PaperIdealRate: 11.5,
+		BatchSweep:     []int{256, 512, 768, 1024, 1280},
+		SizeScale:      1.243,
+		TimeScale:      8.9821,
+		build: func(batch int, ss float64) *dnn.Graph {
+			return ResNet152(ResNetConfig{Batch: batch, SizeScale: ss})
+		},
+	},
+	{
+		Name:           "SENet154",
+		PaperKernels:   2318,
+		PaperBatch:     1024,
+		PaperMemPct:    4277.81,
+		PaperIdealRate: 7.5,
+		BatchSweep:     []int{256, 512, 768, 1024},
+		SizeScale:      1.2777,
+		TimeScale:      10.5352,
+		build: func(batch int, ss float64) *dnn.Graph {
+			return SENet154(ResNetConfig{Batch: batch, SizeScale: ss})
+		},
+	},
+}
+
+// Catalog returns the evaluated workloads in the paper's order.
+func Catalog() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Names lists the catalog model names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for _, s := range catalog {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName finds a catalog entry.
+func ByName(name string) (Spec, error) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+}

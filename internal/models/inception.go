@@ -1,0 +1,161 @@
+package models
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+)
+
+// InceptionConfig parameterises Inception-v3.
+type InceptionConfig struct {
+	Batch     int
+	SizeScale float64
+}
+
+// Inceptionv3 builds one training iteration of Inception-v3 (Szegedy et al.,
+// CVPR'16) on 299×299 ImageNet inputs, including the auxiliary classifier
+// used during training. Branch structure follows the torchvision
+// implementation the paper traces.
+func Inceptionv3(cfg InceptionConfig) *dnn.Graph {
+	tp := newTape("Inceptionv3", cfg.Batch, cfg.SizeScale)
+	x := tp.inputImage(3, 299, 299)
+
+	// Stem.
+	x = basicConv(tp, "stem.1a", x, 32, 3, 3, 2, 0, 0, 1)
+	x = basicConv(tp, "stem.2a", x, 32, 3, 3, 1, 0, 0, 1)
+	x = basicConv(tp, "stem.2b", x, 64, 3, 3, 1, 1, 1, 1)
+	x = tp.pool("stem.maxpool1", x, 3, 2, 0)
+	x = basicConv(tp, "stem.3b", x, 80, 1, 1, 1, 0, 0, 1)
+	x = basicConv(tp, "stem.4a", x, 192, 3, 3, 1, 0, 0, 1)
+	x = tp.pool("stem.maxpool2", x, 3, 2, 0)
+
+	// 3× InceptionA at 35×35.
+	for i, pf := range []int{32, 64, 64} {
+		x = inceptionA(tp, fmt.Sprintf("mixedA%d", i), x, pf)
+	}
+	// Reduction to 17×17.
+	x = inceptionB(tp, "mixedB", x)
+	// 4× InceptionC at 17×17.
+	for i, c7 := range []int{128, 160, 160, 192} {
+		x = inceptionC(tp, fmt.Sprintf("mixedC%d", i), x, c7)
+	}
+
+	// Auxiliary classifier branches off here during training.
+	auxLogits := inceptionAux(tp, "aux", x)
+
+	// Reduction to 8×8, then 2× InceptionE.
+	x = inceptionD(tp, "mixedD", x)
+	x = inceptionE(tp, "mixedE0", x)
+	x = inceptionE(tp, "mixedE1", x)
+
+	pooled := tp.globalAvgPool("head.avgpool", x)
+	drop := tp.unary("head.dropout", pooled, 1)
+	logits := tp.linear("head.fc", drop, x.C, 1000)
+	main := tp.unary("head.softmax", logits, 5)
+
+	// Combine the main and auxiliary heads so both receive gradients.
+	tp.binary("loss_combine", main, auxLogits)
+	return tp.finish()
+}
+
+// basicConv is torchvision's BasicConv2d: conv → batchnorm → relu.
+func basicConv(tp *tape, name string, in feature, Cout, kh, kw, stride, padH, padW, groups int) feature {
+	h := tp.conv2dRect(name+".conv", in, Cout, kh, kw, stride, padH, padW, groups)
+	h = tp.batchNorm(name+".bn", h)
+	return tp.relu(name+".relu", h)
+}
+
+func inceptionA(tp *tape, name string, in feature, poolFeatures int) feature {
+	defer tp.enter(name)()
+	b1 := basicConv(tp, "b1x1", in, 64, 1, 1, 1, 0, 0, 1)
+
+	b5 := basicConv(tp, "b5x5.1", in, 48, 1, 1, 1, 0, 0, 1)
+	b5 = basicConv(tp, "b5x5.2", b5, 64, 5, 5, 1, 2, 2, 1)
+
+	b3 := basicConv(tp, "b3x3dbl.1", in, 64, 1, 1, 1, 0, 0, 1)
+	b3 = basicConv(tp, "b3x3dbl.2", b3, 96, 3, 3, 1, 1, 1, 1)
+	b3 = basicConv(tp, "b3x3dbl.3", b3, 96, 3, 3, 1, 1, 1, 1)
+
+	bp := tp.pool("bpool.avg", in, 3, 1, 1)
+	bp = basicConv(tp, "bpool.conv", bp, poolFeatures, 1, 1, 1, 0, 0, 1)
+
+	return tp.concat("concat", b1, b5, b3, bp)
+}
+
+func inceptionB(tp *tape, name string, in feature) feature {
+	defer tp.enter(name)()
+	b3 := basicConv(tp, "b3x3", in, 384, 3, 3, 2, 0, 0, 1)
+
+	bd := basicConv(tp, "b3x3dbl.1", in, 64, 1, 1, 1, 0, 0, 1)
+	bd = basicConv(tp, "b3x3dbl.2", bd, 96, 3, 3, 1, 1, 1, 1)
+	bd = basicConv(tp, "b3x3dbl.3", bd, 96, 3, 3, 2, 0, 0, 1)
+
+	bp := tp.pool("bpool.max", in, 3, 2, 0)
+	return tp.concat("concat", b3, bd, bp)
+}
+
+func inceptionC(tp *tape, name string, in feature, c7 int) feature {
+	defer tp.enter(name)()
+	b1 := basicConv(tp, "b1x1", in, 192, 1, 1, 1, 0, 0, 1)
+
+	b7 := basicConv(tp, "b7x7.1", in, c7, 1, 1, 1, 0, 0, 1)
+	b7 = basicConv(tp, "b7x7.2", b7, c7, 1, 7, 1, 0, 3, 1)
+	b7 = basicConv(tp, "b7x7.3", b7, 192, 7, 1, 1, 3, 0, 1)
+
+	bd := basicConv(tp, "b7x7dbl.1", in, c7, 1, 1, 1, 0, 0, 1)
+	bd = basicConv(tp, "b7x7dbl.2", bd, c7, 7, 1, 1, 3, 0, 1)
+	bd = basicConv(tp, "b7x7dbl.3", bd, c7, 1, 7, 1, 0, 3, 1)
+	bd = basicConv(tp, "b7x7dbl.4", bd, c7, 7, 1, 1, 3, 0, 1)
+	bd = basicConv(tp, "b7x7dbl.5", bd, 192, 1, 7, 1, 0, 3, 1)
+
+	bp := tp.pool("bpool.avg", in, 3, 1, 1)
+	bp = basicConv(tp, "bpool.conv", bp, 192, 1, 1, 1, 0, 0, 1)
+
+	return tp.concat("concat", b1, b7, bd, bp)
+}
+
+func inceptionD(tp *tape, name string, in feature) feature {
+	defer tp.enter(name)()
+	b3 := basicConv(tp, "b3x3.1", in, 192, 1, 1, 1, 0, 0, 1)
+	b3 = basicConv(tp, "b3x3.2", b3, 320, 3, 3, 2, 0, 0, 1)
+
+	b7 := basicConv(tp, "b7x7x3.1", in, 192, 1, 1, 1, 0, 0, 1)
+	b7 = basicConv(tp, "b7x7x3.2", b7, 192, 1, 7, 1, 0, 3, 1)
+	b7 = basicConv(tp, "b7x7x3.3", b7, 192, 7, 1, 1, 3, 0, 1)
+	b7 = basicConv(tp, "b7x7x3.4", b7, 192, 3, 3, 2, 0, 0, 1)
+
+	bp := tp.pool("bpool.max", in, 3, 2, 0)
+	return tp.concat("concat", b3, b7, bp)
+}
+
+func inceptionE(tp *tape, name string, in feature) feature {
+	defer tp.enter(name)()
+	b1 := basicConv(tp, "b1x1", in, 320, 1, 1, 1, 0, 0, 1)
+
+	b3 := basicConv(tp, "b3x3.1", in, 384, 1, 1, 1, 0, 0, 1)
+	b3a := basicConv(tp, "b3x3.2a", b3, 384, 1, 3, 1, 0, 1, 1)
+	b3b := basicConv(tp, "b3x3.2b", b3, 384, 3, 1, 1, 1, 0, 1)
+	b3c := tp.concat("b3x3.concat", b3a, b3b)
+
+	bd := basicConv(tp, "b3x3dbl.1", in, 448, 1, 1, 1, 0, 0, 1)
+	bd = basicConv(tp, "b3x3dbl.2", bd, 384, 3, 3, 1, 1, 1, 1)
+	bda := basicConv(tp, "b3x3dbl.3a", bd, 384, 1, 3, 1, 0, 1, 1)
+	bdb := basicConv(tp, "b3x3dbl.3b", bd, 384, 3, 1, 1, 1, 0, 1)
+	bdc := tp.concat("b3x3dbl.concat", bda, bdb)
+
+	bp := tp.pool("bpool.avg", in, 3, 1, 1)
+	bp = basicConv(tp, "bpool.conv", bp, 192, 1, 1, 1, 0, 0, 1)
+
+	return tp.concat("concat", b1, b3c, bdc, bp)
+}
+
+// inceptionAux is the training-time auxiliary classifier head.
+func inceptionAux(tp *tape, name string, in feature) *val {
+	defer tp.enter(name)()
+	h := tp.pool("avgpool", in, 5, 3, 0)
+	h = basicConv(tp, "conv0", h, 128, 1, 1, 1, 0, 0, 1)
+	h = basicConv(tp, "conv1", h, 768, 5, 5, 1, 0, 0, 1)
+	pooled := tp.globalAvgPool("gap", h)
+	logits := tp.linear("fc", pooled, h.C, 1000)
+	return tp.unary("softmax", logits, 5)
+}

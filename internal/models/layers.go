@@ -1,0 +1,304 @@
+package models
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+// feature is a batched CNN feature map: the tape value plus its spatial
+// shape (per-example channels × height × width).
+type feature struct {
+	v       *val
+	C, H, W int
+}
+
+func (f feature) elemsPerExample() int64 { return int64(f.C) * int64(f.H) * int64(f.W) }
+
+func (tp *tape) featureVal(name string, C, H, W int) feature {
+	elems := int64(tp.batch) * int64(C) * int64(H) * int64(W)
+	return feature{v: tp.activation(name, elems), C: C, H: H, W: W}
+}
+
+// inputImage declares the batched network input.
+func (tp *tape) inputImage(C, H, W int) feature {
+	elems := int64(tp.batch) * int64(C) * int64(H) * int64(W)
+	return feature{v: tp.input("input", elems), C: C, H: H, W: W}
+}
+
+func convOut(in, k, stride, pad int) int { return (in+2*pad-k)/stride + 1 }
+
+// conv2d emits a 2D convolution and its im2col workspaces. groups follows
+// the grouped-convolution convention (ResNeXt/SENet); k is the square kernel
+// size.
+func (tp *tape) conv2d(name string, in feature, Cout, k, stride, pad, groups int) feature {
+	return tp.conv2dRect(name, in, Cout, k, k, stride, pad, pad, groups)
+}
+
+// conv2dRect is conv2d with a rectangular kernel (Inception's 1×7 / 7×1
+// factorised convolutions).
+func (tp *tape) conv2dRect(name string, in feature, Cout, kh, kw, stride, padH, padW, groups int) feature {
+	Hout := convOut(in.H, kh, stride, padH)
+	Wout := convOut(in.W, kw, stride, padW)
+	if Hout <= 0 || Wout <= 0 {
+		panic(fmt.Sprintf("models: conv %s output collapsed (%dx%d)", name, Hout, Wout))
+	}
+	kk := int64(kh) * int64(kw)
+	w := tp.global(name+".w", int64(Cout)*int64(in.C/groups)*kk)
+	out := tp.featureVal(name+".out", Cout, Hout, Wout)
+	flops := 2 * float64(tp.batch) * float64(Cout) * float64(Hout) * float64(Wout) *
+		float64(in.C/groups) * float64(kk)
+	var ws units.Bytes
+	if kk > 1 {
+		// im2col buffer: B × Cin × kh·kw × Hout × Wout elements.
+		ws = units.Bytes(int64(tp.batch)*int64(in.C)*kk*int64(Hout)*int64(Wout)) * bytesPerElem
+	}
+	tp.apply(&op{
+		name:    name,
+		weights: []*dnn.Tensor{w},
+		inputs:  []*val{in.v},
+		output:  out.v,
+		flops:   flops,
+		wsFwd:   ws,
+		wsBwd:   ws,
+	})
+	return out
+}
+
+// batchNorm emits a batch normalisation over the feature map. Scale and bias
+// are folded into one global tensor of 2C elements.
+func (tp *tape) batchNorm(name string, in feature) feature {
+	w := tp.global(name+".gb", 2*int64(in.C))
+	out := tp.featureVal(name+".out", in.C, in.H, in.W)
+	elems := int64(tp.batch) * in.elemsPerExample()
+	tp.apply(&op{
+		name:      name,
+		weights:   []*dnn.Tensor{w},
+		inputs:    []*val{in.v},
+		output:    out.v,
+		flops:     4 * float64(elems),
+		bwdReadsX: true,
+	})
+	return out
+}
+
+// relu emits an in-place ReLU (torchvision models use inplace=True): the
+// kernel reads and writes the same buffer, so no new tensor is born.
+func (tp *tape) relu(name string, in feature) feature {
+	elems := int64(tp.batch) * in.elemsPerExample()
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{in.v},
+		output:    in.v,
+		flops:     float64(elems),
+		bwdReadsX: true,
+	})
+	return in
+}
+
+// pool emits a max or average pooling layer.
+func (tp *tape) pool(name string, in feature, k, stride, pad int) feature {
+	Hout := convOut(in.H, k, stride, pad)
+	Wout := convOut(in.W, k, stride, pad)
+	out := tp.featureVal(name+".out", in.C, Hout, Wout)
+	elems := int64(tp.batch) * out.elemsPerExample()
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{in.v},
+		output:    out.v,
+		flops:     float64(elems) * float64(k*k),
+		bwdReadsX: true,
+	})
+	return out
+}
+
+// globalAvgPool reduces a feature map to a per-channel vector (B × C).
+func (tp *tape) globalAvgPool(name string, in feature) *val {
+	out := tp.activation(name+".out", int64(tp.batch)*int64(in.C))
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{in.v},
+		output:    out,
+		flops:     float64(int64(tp.batch) * in.elemsPerExample()),
+		bwdReadsX: true,
+	})
+	return out
+}
+
+// add emits an elementwise residual addition accumulated in place into a
+// (torchvision's "out += identity").
+func (tp *tape) add(name string, a, b feature) feature {
+	elems := int64(tp.batch) * a.elemsPerExample()
+	tp.apply(&op{
+		name:   name,
+		inputs: []*val{a.v, b.v},
+		output: a.v,
+		flops:  float64(elems),
+	})
+	return a
+}
+
+// concat emits a channel-wise concatenation (Inception branches).
+func (tp *tape) concat(name string, fs ...feature) feature {
+	C := 0
+	for _, f := range fs {
+		C += f.C
+	}
+	out := tp.featureVal(name+".out", C, fs[0].H, fs[0].W)
+	ins := make([]*val, len(fs))
+	for i, f := range fs {
+		ins[i] = f.v
+	}
+	elems := int64(tp.batch) * out.elemsPerExample()
+	tp.apply(&op{
+		name:   name,
+		inputs: ins,
+		output: out.v,
+		flops:  float64(elems),
+	})
+	return out
+}
+
+// channelScale multiplies a feature map in place by a per-channel vector
+// (the SE block's excitation step).
+func (tp *tape) channelScale(name string, in feature, scale *val) feature {
+	elems := int64(tp.batch) * in.elemsPerExample()
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{in.v, scale},
+		output:    in.v,
+		flops:     float64(elems),
+		bwdReadsX: true,
+	})
+	return in
+}
+
+// linear emits a fully connected layer on a flat (B × inF) value.
+func (tp *tape) linear(name string, in *val, inF, outF int) *val {
+	return tp.linearRows(name, in, int64(tp.batch), inF, outF)
+}
+
+// linearRows emits a GEMM over an explicit row count (B·L rows for
+// sequence models).
+func (tp *tape) linearRows(name string, in *val, rows int64, inF, outF int) *val {
+	w := tp.global(name+".w", int64(inF)*int64(outF)+int64(outF))
+	out := tp.activation(name+".out", rows*int64(outF))
+	tp.apply(&op{
+		name:    name,
+		weights: []*dnn.Tensor{w},
+		inputs:  []*val{in},
+		output:  out,
+		flops:   2 * float64(rows) * float64(inF) * float64(outF),
+	})
+	return out
+}
+
+// reshape emits a copy kernel producing a value with a different element
+// count (cls-token concat, flatten, slicing). Real frameworks launch real
+// copy kernels for these, and the copies occupy real memory.
+func (tp *tape) reshape(name string, in *val, outElems int64) *val {
+	out := tp.activation(name+".out", outElems)
+	tp.apply(&op{
+		name:   name,
+		inputs: []*val{in},
+		output: out,
+		flops:  float64(outElems),
+	})
+	return out
+}
+
+// withWeight emits an elementwise op that also reads a small global tensor
+// (positional-embedding add, scale-by-parameter).
+func (tp *tape) withWeight(name string, in *val, weightElems int64, flopsPerElem float64) *val {
+	w := tp.global(name+".w", weightElems)
+	out := tp.activation(name+".out", in.elems)
+	tp.apply(&op{
+		name:    name,
+		weights: []*dnn.Tensor{w},
+		inputs:  []*val{in},
+		output:  out,
+		flops:   flopsPerElem * float64(in.elems),
+	})
+	return out
+}
+
+// unary emits an elementwise op (gelu, sigmoid, dropout, softmax-style) on a
+// flat value, producing an equal-size output.
+func (tp *tape) unary(name string, in *val, flopsPerElem float64) *val {
+	out := tp.activation(name+".out", in.elems)
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{in},
+		output:    out,
+		flops:     flopsPerElem * float64(in.elems),
+		bwdReadsX: true,
+	})
+	return out
+}
+
+// unaryInplace emits an elementwise op that modifies its input buffer
+// (in-place dropout and activation functions).
+func (tp *tape) unaryInplace(name string, in *val, flopsPerElem float64) *val {
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{in},
+		output:    in,
+		flops:     flopsPerElem * float64(in.elems),
+		bwdReadsX: true,
+	})
+	return in
+}
+
+// addInto emits an elementwise addition accumulated into acc (residual
+// connections).
+func (tp *tape) addInto(name string, acc, other *val) *val {
+	tp.apply(&op{
+		name:   name,
+		inputs: []*val{acc, other},
+		output: acc,
+		flops:  float64(acc.elems),
+	})
+	return acc
+}
+
+// binary emits an elementwise op over two same-shape flat values.
+func (tp *tape) binary(name string, a, b *val) *val {
+	out := tp.activation(name+".out", a.elems)
+	tp.apply(&op{
+		name:   name,
+		inputs: []*val{a, b},
+		output: out,
+		flops:  float64(a.elems),
+	})
+	return out
+}
+
+// matmul emits a generic batched matrix multiply producing outElems elements
+// with the given FLOPs (attention score/context products).
+func (tp *tape) matmul(name string, a, b *val, outElems int64, flops float64) *val {
+	out := tp.activation(name+".out", outElems)
+	tp.apply(&op{
+		name:      name,
+		inputs:    []*val{a, b},
+		output:    out,
+		flops:     flops,
+		bwdReadsX: true,
+	})
+	return out
+}
+
+// normalize emits a layernorm-style op with a small global weight.
+func (tp *tape) normalize(name string, in *val, width int) *val {
+	w := tp.global(name+".gb", 2*int64(width))
+	out := tp.activation(name+".out", in.elems)
+	tp.apply(&op{
+		name:      name,
+		weights:   []*dnn.Tensor{w},
+		inputs:    []*val{in},
+		output:    out,
+		flops:     5 * float64(in.elems),
+		bwdReadsX: true,
+	})
+	return out
+}

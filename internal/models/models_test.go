@@ -1,0 +1,234 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+func TestTinyNetsValidate(t *testing.T) {
+	for _, g := range []*dnn.Graph{TinyMLP(8), TinyCNN(8), TinyTransformer(8)} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestTinyMLPStructure(t *testing.T) {
+	g := TinyMLP(8)
+	// 6 forward ops (3 linears, 2 relus, softmax) + loss seed + backward.
+	var fwd, bwd int
+	for _, k := range g.Kernels {
+		if k.Phase == dnn.Forward {
+			fwd++
+		} else {
+			bwd++
+		}
+	}
+	if fwd != 6 {
+		t.Errorf("forward kernels = %d, want 6", fwd)
+	}
+	// bwd: loss_grad + fc3(2) + softmax... softmax bwd(1) + relu2(1) +
+	// fc2(2) + relu1(1) + fc1: input needs no grad so only bwd_w (1),
+	// fc3 bwd_data+bwd_w (2), fc2 (2) => total 1+1+2+1+2+1+1+... count loosely.
+	if bwd < 8 {
+		t.Errorf("backward kernels = %d, want >= 8", bwd)
+	}
+	// First layer's input must not receive a gradient kernel.
+	for _, k := range g.Kernels {
+		if strings.Contains(k.Name, "fc1.bwd_data") {
+			t.Error("fc1 emitted a data-gradient kernel for the network input")
+		}
+	}
+}
+
+func TestBackwardMirrorsForward(t *testing.T) {
+	g := TinyCNN(4)
+	// Backward kernels must all come after every forward kernel.
+	lastFwd, firstBwd := -1, len(g.Kernels)
+	for i, k := range g.Kernels {
+		if k.Phase == dnn.Forward && i > lastFwd {
+			lastFwd = i
+		}
+		if k.Phase == dnn.Backward && i < firstBwd {
+			firstBwd = i
+		}
+	}
+	if lastFwd >= firstBwd {
+		t.Errorf("forward kernel at %d after backward kernel at %d", lastFwd, firstBwd)
+	}
+}
+
+func TestConvWorkspacesSingleUse(t *testing.T) {
+	g := TinyCNN(4)
+	uses := g.UseIndices()
+	var nWS int
+	for _, tensor := range g.Tensors {
+		if tensor.Kind != dnn.Workspace {
+			continue
+		}
+		nWS++
+		if len(uses[tensor.ID]) != 1 {
+			t.Errorf("workspace %s used %d times", tensor.Name, len(uses[tensor.ID]))
+		}
+	}
+	if nWS == 0 {
+		t.Error("TinyCNN has no conv workspaces")
+	}
+}
+
+func TestCatalogBuildsAtSmallBatch(t *testing.T) {
+	// Build every paper model at a tiny batch to keep the test fast while
+	// validating the full structural path.
+	for _, spec := range Catalog() {
+		g := spec.Build(2)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if g.Batch != 2 {
+			t.Errorf("%s batch = %d", spec.Name, g.Batch)
+		}
+	}
+}
+
+// TestTable1KernelCounts checks kernel counts against the paper's Table 1.
+// CNN counts derive naturally from the architectures and must be close;
+// transformer traces in the paper fragment framework ops into more CUDA
+// kernels than our operator-level modelling, so we assert a documented
+// looser band there (see EXPERIMENTS.md).
+func TestTable1KernelCounts(t *testing.T) {
+	tolerance := map[string]float64{
+		"BERT":        0.60, // operator-level vs CUDA-kernel-level counting
+		"ViT":         0.65,
+		"Inceptionv3": 0.25,
+		"ResNet152":   0.15,
+		"SENet154":    0.20,
+	}
+	for _, spec := range Catalog() {
+		g := spec.Build(spec.PaperBatch)
+		got := float64(len(g.Kernels))
+		want := float64(spec.PaperKernels)
+		dev := (got - want) / want
+		if dev < 0 {
+			dev = -dev
+		}
+		tol := tolerance[spec.Name]
+		t.Logf("%-12s kernels: got %4.0f, paper %4.0f (dev %+.1f%%)", spec.Name, got, want, 100*(got-want)/want)
+		if dev > tol {
+			t.Errorf("%s kernel count %v deviates more than %.0f%% from paper's %v", spec.Name, got, tol*100, want)
+		}
+	}
+}
+
+// TestFootprintsNearPaper checks that each workload's total footprint at
+// the paper's batch size lands within 30% of the paper's M%. The SizeScale
+// calibration deliberately trades some footprint accuracy for behavioural
+// fidelity: per-kernel working sets stay at the scale the paper's §3
+// characterisation reports, which matters more to every Fig. 11–18 dynamic
+// than the absolute footprint (see EXPERIMENTS.md).
+func TestFootprintsNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-batch model construction in -short mode")
+	}
+	for _, spec := range Catalog() {
+		g := spec.Build(spec.PaperBatch)
+		got := g.Footprint()
+		want := spec.PaperFootprint()
+		dev := (got.GiB() - want.GiB()) / want.GiB()
+		t.Logf("%-12s footprint: got %8.1f GB, paper %8.1f GB (dev %+.1f%%)", spec.Name, got.GiB(), want.GiB(), 100*dev)
+		if dev < -0.30 || dev > 0.30 {
+			t.Errorf("%s footprint %v deviates more than 30%% from paper's %v (adjust SizeScale)", spec.Name, got, want)
+		}
+	}
+}
+
+// TestWorkingSetsFitUVM checks the §3 property that single-kernel working
+// sets stay well below GPU memory for the paper-evaluated batch sizes, so
+// UVM policies never have to stream a kernel.
+func TestWorkingSetsFitUVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-batch model construction in -short mode")
+	}
+	for _, spec := range Catalog() {
+		g := spec.Build(spec.PaperBatch)
+		if ws := g.MaxWorkingSet(); ws > 36*units.GB {
+			t.Errorf("%s max working set %v leaves no UVM headroom on a 40GB GPU", spec.Name, ws)
+		}
+	}
+}
+
+func TestSpecPaperFootprint(t *testing.T) {
+	s := Spec{PaperMemPct: 100}
+	if got := s.PaperFootprint(); got != 40*units.GB {
+		t.Errorf("PaperFootprint(100%%) = %v, want 40GB", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("BERT"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("GPT5"); err == nil {
+		t.Error("expected error for unknown model")
+	}
+	if len(Names()) != 5 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestBuildDefaultsToPaperBatch(t *testing.T) {
+	spec, _ := ByName("BERT")
+	g := spec.Build(0)
+	if g.Batch != spec.PaperBatch {
+		t.Errorf("batch = %d, want %d", g.Batch, spec.PaperBatch)
+	}
+}
+
+func TestWeightsAreGlobalAndUsedTwice(t *testing.T) {
+	g := TinyCNN(4)
+	uses := g.UseIndices()
+	var multi, total int
+	for _, tensor := range g.Tensors {
+		if tensor.Kind != dnn.Global {
+			continue
+		}
+		total++
+		if len(uses[tensor.ID]) == 0 {
+			t.Errorf("global tensor %s never used", tensor.Name)
+		}
+		if len(uses[tensor.ID]) >= 2 {
+			multi++
+		}
+	}
+	// All weights are read in forward; all but the first layer's are also
+	// read by their bwd_data kernel (the stem conv has no data gradient).
+	if multi < total-2 {
+		t.Errorf("only %d of %d global tensors used twice or more", multi, total)
+	}
+}
+
+func TestSizeScaleScalesIntermediatesOnly(t *testing.T) {
+	a := BERTBase(TransformerConfig{Batch: 64, SizeScale: 1})
+	b := BERTBase(TransformerConfig{Batch: 64, SizeScale: 2})
+	if a.GlobalBytes() != b.GlobalBytes() {
+		t.Errorf("weights scaled: %v vs %v", a.GlobalBytes(), b.GlobalBytes())
+	}
+	// Weight-gradient tensors track (unscaled) weight sizes, so the ratio
+	// sits slightly below 2 even when activations dominate.
+	ai := a.Footprint() - a.GlobalBytes()
+	bi := b.Footprint() - b.GlobalBytes()
+	ratio := float64(bi) / float64(ai)
+	if ratio < 1.85 || ratio > 2.01 {
+		t.Errorf("intermediate scaling ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestFootprintGrowsWithBatch(t *testing.T) {
+	small := TinyCNN(2).Footprint()
+	big := TinyCNN(8).Footprint()
+	if big <= small {
+		t.Errorf("footprint did not grow with batch: %v vs %v", small, big)
+	}
+}

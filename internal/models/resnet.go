@@ -1,0 +1,135 @@
+package models
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+)
+
+// ResNetConfig parameterises the residual CNNs of Table 1.
+type ResNetConfig struct {
+	Batch int
+	// SizeScale calibrates intermediate tensor sizes so each model's total
+	// footprint matches the paper's reported M%. See catalog.go.
+	SizeScale float64
+}
+
+// ResNet152 builds one training iteration of ResNet-152 (He et al., CVPR'16)
+// on 224×224 ImageNet inputs: a 7×7 stem and bottleneck stages of
+// [3, 8, 36, 3] blocks.
+func ResNet152(cfg ResNetConfig) *dnn.Graph {
+	tp := newTape("ResNet152", cfg.Batch, cfg.SizeScale)
+	x := tp.inputImage(3, 224, 224)
+
+	// Stem: conv7x7/2 -> bn -> relu -> maxpool/2.
+	x = tp.conv2d("stem.conv", x, 64, 7, 2, 3, 1)
+	x = tp.batchNorm("stem.bn", x)
+	x = tp.relu("stem.relu", x)
+	x = tp.pool("stem.maxpool", x, 3, 2, 1)
+
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 64, 256, 1},
+		{8, 128, 512, 2},
+		{36, 256, 1024, 2},
+		{3, 512, 2048, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			x = bottleneck(tp, fmt.Sprintf("s%d.b%d", si+1, bi), x, st.mid, st.out, stride, 1, nil)
+		}
+	}
+
+	pooled := tp.globalAvgPool("head.avgpool", x)
+	logits := tp.linear("head.fc", pooled, x.C, 1000)
+	tp.unary("head.softmax", logits, 5)
+	return tp.finish()
+}
+
+// seConfig enables squeeze-and-excitation inside bottleneck blocks.
+type seConfig struct {
+	reduction int
+}
+
+// bottleneck emits a (optionally grouped, optionally SE) residual bottleneck:
+// 1x1 reduce -> 3x3 (groups) -> 1x1 expand, plus a projection shortcut when
+// the shape changes, followed by add and relu.
+func bottleneck(tp *tape, name string, in feature, mid, out, stride, groups int, se *seConfig) feature {
+	defer tp.enter(name)()
+
+	h := tp.conv2d("conv1", in, mid, 1, 1, 0, 1)
+	h = tp.batchNorm("bn1", h)
+	h = tp.relu("relu1", h)
+	h = tp.conv2d("conv2", h, mid, 3, stride, 1, groups)
+	h = tp.batchNorm("bn2", h)
+	h = tp.relu("relu2", h)
+	h = tp.conv2d("conv3", h, out, 1, 1, 0, 1)
+	h = tp.batchNorm("bn3", h)
+
+	if se != nil {
+		squeezed := tp.globalAvgPool("se.squeeze", h)
+		fc1 := tp.linear("se.fc1", squeezed, h.C, h.C/se.reduction)
+		act := tp.unary("se.relu", fc1, 1)
+		fc2 := tp.linear("se.fc2", act, h.C/se.reduction, h.C)
+		gate := tp.unary("se.sigmoid", fc2, 4)
+		h = tp.channelScale("se.scale", h, gate)
+	}
+
+	short := in
+	if stride != 1 || in.C != out {
+		short = tp.conv2d("down.conv", in, out, 1, stride, 0, 1)
+		short = tp.batchNorm("down.bn", short)
+	}
+	sum := tp.add("add", h, short)
+	return tp.relu("relu3", sum)
+}
+
+// SENet154 builds one training iteration of SENet-154 (Hu et al., CVPR'18):
+// a 3-conv stem, grouped 3×3 bottlenecks (64 groups, double-width mid
+// channels) with squeeze-and-excitation, stages of [3, 8, 36, 3] blocks.
+func SENet154(cfg ResNetConfig) *dnn.Graph {
+	tp := newTape("SENet154", cfg.Batch, cfg.SizeScale)
+	x := tp.inputImage(3, 224, 224)
+
+	// SENet's deep stem: three 3×3 convs.
+	x = tp.conv2d("stem.conv1", x, 64, 3, 2, 1, 1)
+	x = tp.batchNorm("stem.bn1", x)
+	x = tp.relu("stem.relu1", x)
+	x = tp.conv2d("stem.conv2", x, 64, 3, 1, 1, 1)
+	x = tp.batchNorm("stem.bn2", x)
+	x = tp.relu("stem.relu2", x)
+	x = tp.conv2d("stem.conv3", x, 128, 3, 1, 1, 1)
+	x = tp.batchNorm("stem.bn3", x)
+	x = tp.relu("stem.relu3", x)
+	x = tp.pool("stem.maxpool", x, 3, 2, 1)
+
+	se := &seConfig{reduction: 16}
+	stages := []struct {
+		blocks, mid, out, stride int
+	}{
+		{3, 128, 256, 1},
+		{8, 256, 512, 2},
+		{36, 512, 1024, 2},
+		{3, 1024, 2048, 2},
+	}
+	for si, st := range stages {
+		for bi := 0; bi < st.blocks; bi++ {
+			stride := 1
+			if bi == 0 {
+				stride = st.stride
+			}
+			x = bottleneck(tp, fmt.Sprintf("s%d.b%d", si+1, bi), x, st.mid, st.out, stride, 64, se)
+		}
+	}
+
+	pooled := tp.globalAvgPool("head.avgpool", x)
+	drop := tp.unary("head.dropout", pooled, 1)
+	logits := tp.linear("head.fc", drop, x.C, 1000)
+	tp.unary("head.softmax", logits, 5)
+	return tp.finish()
+}

@@ -1,0 +1,215 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+// kernelsMatching counts kernels whose name contains sub.
+func kernelsMatching(g *dnn.Graph, sub string) int {
+	n := 0
+	for _, k := range g.Kernels {
+		if strings.Contains(k.Name, sub) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestResNet152Structure(t *testing.T) {
+	g := ResNet152(ResNetConfig{Batch: 2, SizeScale: 1})
+	// 3+8+36+3 = 50 bottlenecks, three convs each, plus 4 downsample convs
+	// and the stem conv: 155 forward conv kernels.
+	if got := kernelsMatching(g, "conv") - kernelsMatching(g, "conv"+".bwd"); got <= 0 {
+		t.Fatal("no conv kernels")
+	}
+	fwdConvs := 0
+	for _, k := range g.Kernels {
+		if k.Phase == dnn.Forward && strings.Contains(k.Name, "conv") && !strings.Contains(k.Name, "bwd") {
+			fwdConvs++
+		}
+	}
+	if fwdConvs != 155 {
+		t.Errorf("forward conv kernels = %d, want 155 (50x3 + 4 downsample + stem)", fwdConvs)
+	}
+	if got := kernelsMatching(g, "s3.b35"); got == 0 {
+		t.Error("stage 3 block 35 missing (36-block stage)")
+	}
+	if got := kernelsMatching(g, "se."); got != 0 {
+		t.Errorf("ResNet152 has %d SE kernels; only SENet should", got)
+	}
+}
+
+func TestSENet154Structure(t *testing.T) {
+	g := SENet154(ResNetConfig{Batch: 2, SizeScale: 1})
+	// Every one of the 50 blocks carries an SE sub-block.
+	var seScale int
+	for _, k := range g.Kernels {
+		if k.Phase == dnn.Forward && strings.Contains(k.Name, "se.scale") {
+			seScale++
+		}
+	}
+	if seScale != 50 {
+		t.Errorf("SE scale kernels = %d, want 50", seScale)
+	}
+	// SENet's stem has three convolutions.
+	stemConvs := 0
+	for _, k := range g.Kernels {
+		if k.Phase == dnn.Forward && strings.HasPrefix(k.Name, "stem.conv") && !strings.Contains(k.Name, "bwd") {
+			stemConvs++
+		}
+	}
+	if stemConvs != 3 {
+		t.Errorf("stem convs = %d, want 3", stemConvs)
+	}
+}
+
+func TestInceptionv3Structure(t *testing.T) {
+	g := Inceptionv3(InceptionConfig{Batch: 2, SizeScale: 1})
+	// 3 A blocks, 1 B, 4 C, 1 D, 2 E, one aux head.
+	for _, want := range []struct {
+		sub string
+		n   int
+	}{
+		{"mixedA0.", 1}, {"mixedA2.", 1}, {"mixedB.", 1},
+		{"mixedC3.", 1}, {"mixedD.", 1}, {"mixedE1.", 1}, {"aux.", 1},
+	} {
+		if kernelsMatching(g, want.sub) == 0 {
+			t.Errorf("missing %s kernels", want.sub)
+		}
+	}
+	// The factorised 1x7/7x1 convs exist in the C blocks.
+	if kernelsMatching(g, "b7x7dbl.5") == 0 {
+		t.Error("factorised 7x7 chain missing")
+	}
+	// Both heads feed the loss (aux classifier is trained): the combine
+	// op appears once forward and once backward.
+	if kernelsMatching(g, "loss_combine") == 0 {
+		t.Error("aux head not combined into the loss")
+	}
+}
+
+func TestTransformerLayerCounts(t *testing.T) {
+	g := BERTBase(TransformerConfig{Batch: 2, SizeScale: 1})
+	for _, sub := range []string{"layer0.", "layer11."} {
+		if kernelsMatching(g, sub) == 0 {
+			t.Errorf("missing %s kernels", sub)
+		}
+	}
+	if kernelsMatching(g, "layer12.") != 0 {
+		t.Error("BERT-Base has more than 12 layers")
+	}
+	// Attention pipeline present per layer.
+	for _, sub := range []string{"attn.q", "attn.scores", "attn.softmax", "attn.context", "mlp.fc1", "mlp.gelu"} {
+		if n := kernelsMatching(g, "layer3."+sub); n == 0 {
+			t.Errorf("layer3 missing %s", sub)
+		}
+	}
+}
+
+func TestViTPatchesAndClassToken(t *testing.T) {
+	g := ViTBase(TransformerConfig{Batch: 2, SizeScale: 1})
+	if kernelsMatching(g, "patch.conv") == 0 {
+		t.Error("patch embedding conv missing")
+	}
+	if kernelsMatching(g, "cls.concat") == 0 {
+		t.Error("class token concat missing")
+	}
+	// ViT-B/32 on 224x224: 49 patches + cls = seq 50. The per-layer score
+	// tensor must be B*heads*50*50 elements.
+	for _, tensor := range g.Tensors {
+		if strings.Contains(tensor.Name, "layer0.attn.scores.out") {
+			want := units.Bytes(2*12*50*50) * 4
+			if tensor.Size != want {
+				t.Errorf("scores tensor = %v, want %v", tensor.Size, want)
+			}
+			return
+		}
+	}
+	t.Error("scores tensor not found")
+}
+
+func TestConvDimensionMath(t *testing.T) {
+	cases := []struct {
+		in, k, stride, pad, want int
+	}{
+		{224, 7, 2, 3, 112},
+		{112, 3, 2, 1, 56},
+		{56, 1, 1, 0, 56},
+		{299, 3, 2, 0, 149},
+		{147, 3, 1, 1, 147},
+	}
+	for _, c := range cases {
+		if got := convOut(c.in, c.k, c.stride, c.pad); got != c.want {
+			t.Errorf("convOut(%d,k%d,s%d,p%d) = %d, want %d", c.in, c.k, c.stride, c.pad, got, c.want)
+		}
+	}
+}
+
+func TestWorkspaceCap(t *testing.T) {
+	// At huge batch, conv workspaces must stay at the 4GB cap (cuDNN
+	// workspace-limited algorithm selection; Figure 9's 4.1GB example).
+	g := ResNet152(ResNetConfig{Batch: 1280, SizeScale: 1.243})
+	var maxWS units.Bytes
+	for _, tensor := range g.Tensors {
+		if tensor.Kind == dnn.Workspace && tensor.Size > maxWS {
+			maxWS = tensor.Size
+		}
+	}
+	if maxWS > 4*units.GB {
+		t.Errorf("workspace %v exceeds the 4GB cap", maxWS)
+	}
+	if maxWS < 2*units.GB {
+		t.Errorf("largest workspace %v suspiciously small at batch 1280", maxWS)
+	}
+}
+
+func TestInPlaceOpsShareBuffers(t *testing.T) {
+	g := TinyCNN(4)
+	// Find a relu kernel: its input and output must be the same tensor.
+	for _, k := range g.Kernels {
+		if k.Phase != dnn.Forward || !strings.Contains(k.Name, "relu") {
+			continue
+		}
+		if len(k.Inputs) != 1 || len(k.Outputs) != 1 || k.Inputs[0] != k.Outputs[0] {
+			t.Fatalf("relu kernel %s not in-place: in=%v out=%v", k.Name, k.Inputs, k.Outputs)
+		}
+		return
+	}
+	t.Fatal("no relu kernel found")
+}
+
+func TestFLOPsScaleWithBatch(t *testing.T) {
+	f2 := ResNet152(ResNetConfig{Batch: 2, SizeScale: 1}).TotalFLOPs()
+	f8 := ResNet152(ResNetConfig{Batch: 8, SizeScale: 1}).TotalFLOPs()
+	ratio := f8 / f2
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("FLOPs batch scaling = %.2f, want ~4", ratio)
+	}
+}
+
+func TestGroupedConvReducesFLOPsNotWorkspace(t *testing.T) {
+	tpA := newTape("a", 2, 1)
+	in := tpA.inputImage(64, 32, 32)
+	dense := tpA.conv2d("c", in, 64, 3, 1, 1, 1)
+	_ = dense
+
+	tpB := newTape("b", 2, 1)
+	in2 := tpB.inputImage(64, 32, 32)
+	grouped := tpB.conv2d("c", in2, 64, 3, 1, 1, 8)
+	_ = grouped
+
+	var denseFLOPs, groupFLOPs float64
+	for _, k := range tpA.b.MustBuild().Kernels {
+		denseFLOPs += k.FLOPs
+	}
+	for _, k := range tpB.b.MustBuild().Kernels {
+		groupFLOPs += k.FLOPs
+	}
+	if ratio := denseFLOPs / groupFLOPs; ratio < 7.9 || ratio > 8.1 {
+		t.Errorf("grouped conv FLOPs ratio = %.2f, want ~8", ratio)
+	}
+}

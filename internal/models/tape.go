@@ -1,0 +1,239 @@
+// Package models re-implements the paper's evaluated DNN workloads (Table 1:
+// BERT, ViT, Inceptionv3, ResNet152, SENet154) as dataflow graphs with
+// realistic tensor sizes and kernel FLOP counts, parameterised by batch size.
+//
+// A small autograd "tape" records forward operators and then emits the
+// backward pass in reverse order, mirroring how a deep learning framework's
+// compiler would lower one training iteration: each weighted op contributes a
+// data-gradient kernel and a weight-gradient kernel; elementwise ops
+// contribute one backward kernel; conv kernels carry im2col workspace tensors
+// in both directions (the paper's Figure 9 shows exactly such a multi-GB
+// workspace tensor on a conv2d kernel).
+package models
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+const bytesPerElem = 4 // FP32, per the paper's §7.1
+
+// val is an activation value on the tape: the forward tensor plus a lazily
+// created gradient tensor used during backward emission.
+type val struct {
+	t         *dnn.Tensor
+	grad      *dnn.Tensor
+	needsGrad bool
+	elems     int64
+}
+
+// op records one forward operator for backward emission.
+type op struct {
+	name      string
+	weights   []*dnn.Tensor // global tensors read by forward and bwd-data
+	wgrads    []*dnn.Tensor // gradient tensors written by bwd-weight
+	inputs    []*val
+	output    *val
+	flops     float64     // forward FLOPs (bwd kernels approximated from it)
+	wsFwd     units.Bytes // forward workspace size (0 = none)
+	wsBwd     units.Bytes // backward workspace size (0 = none)
+	bwdReadsX bool        // bwd-data also reads the forward inputs (relu, pool, ...)
+}
+
+// tape builds a training-iteration graph.
+type tape struct {
+	b         *dnn.Builder
+	batch     int
+	ops       []*op
+	sizeScale float64 // calibration multiplier on intermediate/workspace sizes
+	scope     string
+	nameSeq   map[string]int
+}
+
+func newTape(model string, batch int, sizeScale float64) *tape {
+	if sizeScale <= 0 {
+		sizeScale = 1
+	}
+	return &tape{
+		b:         dnn.NewBuilder(model, batch),
+		batch:     batch,
+		sizeScale: sizeScale,
+		nameSeq:   make(map[string]int),
+	}
+}
+
+// enter pushes a naming scope ("layer3.block2"); returns a restore func.
+func (tp *tape) enter(scope string) func() {
+	old := tp.scope
+	if old == "" {
+		tp.scope = scope
+	} else {
+		tp.scope = old + "." + scope
+	}
+	return func() { tp.scope = old }
+}
+
+func (tp *tape) name(base string) string {
+	full := base
+	if tp.scope != "" {
+		full = tp.scope + "." + base
+	}
+	n := tp.nameSeq[full]
+	tp.nameSeq[full] = n + 1
+	if n == 0 {
+		return full
+	}
+	return fmt.Sprintf("%s#%d", full, n)
+}
+
+// maxWorkspace caps per-kernel scratch buffers, modeling cuDNN's
+// workspace-limited algorithm selection. The paper's largest observed
+// kernel allocation is the 4.1GB conv workspace of Figure 9, and its
+// largest kernel working set is 5.7GB (§3).
+const maxWorkspace = 4 * units.GB
+
+// scaled converts an element count to calibrated bytes.
+func (tp *tape) scaled(elems int64) units.Bytes {
+	b := units.Bytes(float64(elems) * bytesPerElem * tp.sizeScale)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// input declares the network input (needs no gradient).
+func (tp *tape) input(name string, elems int64) *val {
+	t := tp.b.Tensor(tp.name(name), dnn.Intermediate, tp.scaled(elems))
+	return &val{t: t, needsGrad: false, elems: elems}
+}
+
+// activation declares an intermediate value produced by an op.
+func (tp *tape) activation(name string, elems int64) *val {
+	t := tp.b.Tensor(tp.name(name), dnn.Intermediate, tp.scaled(elems))
+	return &val{t: t, needsGrad: true, elems: elems}
+}
+
+// global declares a weight tensor (not subject to size calibration: weights
+// must stay realistic because FlashNeuron never swaps them).
+func (tp *tape) global(name string, elems int64) *dnn.Tensor {
+	b := units.Bytes(elems * bytesPerElem)
+	if b < 1 {
+		b = 1
+	}
+	return tp.b.Tensor(tp.name(name), dnn.Global, b)
+}
+
+// apply emits the forward kernel for an op and records it for backward.
+// It returns the op's output value.
+func (tp *tape) apply(o *op) *val {
+	ins := make([]*dnn.Tensor, 0, len(o.inputs)+len(o.weights)+1)
+	for _, w := range o.weights {
+		ins = append(ins, w)
+	}
+	for _, in := range o.inputs {
+		ins = append(ins, in.t)
+	}
+	if o.wsFwd > 0 {
+		ws := tp.b.Tensor(tp.name(o.name+".ws"), dnn.Workspace, clampWS(scaleBytes(o.wsFwd, tp.sizeScale)))
+		ins = append(ins, ws)
+	}
+	tp.b.Kernel(tp.name(o.name), dnn.Forward, o.flops, ins, []*dnn.Tensor{o.output.t})
+	tp.ops = append(tp.ops, o)
+	return o.output
+}
+
+func scaleBytes(b units.Bytes, scale float64) units.Bytes {
+	s := units.Bytes(float64(b) * scale)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func clampWS(b units.Bytes) units.Bytes {
+	if b > maxWorkspace {
+		return maxWorkspace
+	}
+	return b
+}
+
+func (tp *tape) gradOf(v *val, hint string) *dnn.Tensor {
+	if v.grad == nil {
+		v.grad = tp.b.Tensor(tp.name("d"+hint), dnn.Intermediate, v.t.Size)
+	}
+	return v.grad
+}
+
+// backward emits the backward pass: ops in reverse, a data-gradient kernel
+// per op (skipped when no input needs a gradient) and a weight-gradient
+// kernel per weighted op. The final op's output gradient is seeded by a
+// dedicated loss kernel.
+func (tp *tape) backward() {
+	if len(tp.ops) == 0 {
+		return
+	}
+	// Seed the loss gradient on the last op's output.
+	last := tp.ops[len(tp.ops)-1]
+	seed := tp.gradOf(last.output, last.output.t.Name)
+	tp.b.Kernel(tp.name("loss_grad"), dnn.Backward,
+		float64(last.output.elems), []*dnn.Tensor{last.output.t}, []*dnn.Tensor{seed})
+
+	for i := len(tp.ops) - 1; i >= 0; i-- {
+		o := tp.ops[i]
+		outGrad := o.output.grad
+		if outGrad == nil {
+			// Output never consumed downstream (dangling head, e.g. an
+			// auxiliary output we chose not to train on): skip.
+			continue
+		}
+
+		// Data-gradient kernel: d(out) -> d(in_0..k).
+		var gradOuts []*dnn.Tensor
+		for _, in := range o.inputs {
+			if in.needsGrad {
+				gradOuts = append(gradOuts, tp.gradOf(in, in.t.Name))
+			}
+		}
+		if len(gradOuts) > 0 {
+			ins := []*dnn.Tensor{outGrad}
+			ins = append(ins, o.weights...)
+			if o.bwdReadsX {
+				for _, in := range o.inputs {
+					ins = append(ins, in.t)
+				}
+			}
+			if o.wsBwd > 0 {
+				ws := tp.b.Tensor(tp.name(o.name+".bwd.ws"), dnn.Workspace, clampWS(scaleBytes(o.wsBwd, tp.sizeScale)))
+				ins = append(ins, ws)
+			}
+			tp.b.Kernel(tp.name(o.name+".bwd_data"), dnn.Backward, o.flops, ins, gradOuts)
+		}
+
+		// Weight-gradient kernel: d(out) x in -> dW.
+		if len(o.weights) > 0 {
+			if o.wgrads == nil {
+				for _, w := range o.weights {
+					dw := tp.b.Tensor(tp.name("d"+w.Name), dnn.Intermediate, w.Size)
+					o.wgrads = append(o.wgrads, dw)
+				}
+			}
+			ins := []*dnn.Tensor{outGrad}
+			for _, in := range o.inputs {
+				ins = append(ins, in.t)
+			}
+			if o.wsBwd > 0 {
+				ws := tp.b.Tensor(tp.name(o.name+".bwd_w.ws"), dnn.Workspace, clampWS(scaleBytes(o.wsBwd, tp.sizeScale)))
+				ins = append(ins, ws)
+			}
+			tp.b.Kernel(tp.name(o.name+".bwd_w"), dnn.Backward, o.flops, ins, o.wgrads)
+		}
+	}
+}
+
+// finish emits the backward pass and builds the validated graph.
+func (tp *tape) finish() *dnn.Graph {
+	tp.backward()
+	return tp.b.MustBuild()
+}

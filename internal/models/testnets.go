@@ -1,0 +1,43 @@
+package models
+
+import "g10sim/internal/dnn"
+
+// TinyMLP builds a small 3-layer perceptron used by unit tests across the
+// repository: large enough to have interesting inactive periods, small
+// enough to inspect by hand.
+func TinyMLP(batch int) *dnn.Graph {
+	tp := newTape("TinyMLP", batch, 1)
+	x := tp.input("input", int64(batch)*1024)
+	h := tp.linear("fc1", x, 1024, 4096)
+	h = tp.unary("relu1", h, 1)
+	h = tp.linear("fc2", h, 4096, 4096)
+	h = tp.unary("relu2", h, 1)
+	h = tp.linear("fc3", h, 4096, 10)
+	tp.unary("softmax", h, 5)
+	return tp.finish()
+}
+
+// TinyCNN builds a small residual CNN (stem + 2 bottlenecks + head) that
+// exercises convolutions, workspaces, branches, and joins.
+func TinyCNN(batch int) *dnn.Graph {
+	tp := newTape("TinyCNN", batch, 1)
+	x := tp.inputImage(3, 32, 32)
+	x = tp.conv2d("stem.conv", x, 16, 3, 1, 1, 1)
+	x = tp.batchNorm("stem.bn", x)
+	x = tp.relu("stem.relu", x)
+	x = bottleneck(tp, "b0", x, 16, 64, 1, 1, nil)
+	x = bottleneck(tp, "b1", x, 32, 128, 2, 1, nil)
+	pooled := tp.globalAvgPool("head.gap", x)
+	logits := tp.linear("head.fc", pooled, x.C, 10)
+	tp.unary("head.softmax", logits, 5)
+	return tp.finish()
+}
+
+// TinyTransformer builds a 2-layer encoder for scheduler unit tests.
+func TinyTransformer(batch int) *dnn.Graph {
+	cfg := TransformerConfig{
+		Batch: batch, SeqLen: 16, Hidden: 64, Layers: 2, Heads: 4,
+		FFN: 256, Vocab: 1000, Classes: 2, SizeScale: 1,
+	}
+	return BERTBase(cfg)
+}

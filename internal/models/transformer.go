@@ -1,0 +1,159 @@
+package models
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+)
+
+// TransformerConfig parameterises the encoder-only transformers of Table 1.
+type TransformerConfig struct {
+	Batch     int
+	SeqLen    int
+	Hidden    int
+	Layers    int
+	Heads     int
+	FFN       int
+	Vocab     int // BERT only
+	Classes   int
+	SizeScale float64
+}
+
+// BERTBase builds one training iteration of BERT-Base (Devlin et al., 2018)
+// fine-tuning on CoLA: 12 encoder layers, hidden 768, 12 heads, FFN 3072.
+func BERTBase(cfg TransformerConfig) *dnn.Graph {
+	applyBERTDefaults(&cfg)
+	tp := newTape("BERT", cfg.Batch, cfg.SizeScale)
+
+	bl := int64(cfg.Batch) * int64(cfg.SeqLen)
+	// Token IDs: one int per position (modeled at element granularity).
+	ids := tp.input("input_ids", bl)
+	emb := tp.withWeight("emb.word", ids, int64(cfg.Vocab)*int64(cfg.Hidden), 1)
+	emb = tp.withWeight("emb.pos", emb, int64(cfg.SeqLen)*int64(cfg.Hidden), 1)
+	// The word-embedding lookup expands B·L ids to B·L·H activations.
+	x := tp.reshape("emb.expand", emb, bl*int64(cfg.Hidden))
+	x = tp.normalize("emb.ln", x, cfg.Hidden)
+	x = tp.unary("emb.dropout", x, 2)
+
+	for l := 0; l < cfg.Layers; l++ {
+		x = encoderLayer(tp, fmt.Sprintf("layer%d", l), x, cfg)
+	}
+
+	// Pooler over the [CLS] token, then the CoLA classification head.
+	cls := tp.reshape("pooler.cls", x, int64(cfg.Batch)*int64(cfg.Hidden))
+	pooled := tp.linear("pooler.fc", cls, cfg.Hidden, cfg.Hidden)
+	pooled = tp.unary("pooler.tanh", pooled, 4)
+	logits := tp.linear("head.fc", pooled, cfg.Hidden, cfg.Classes)
+	tp.unary("head.softmax", logits, 5)
+	return tp.finish()
+}
+
+// ViTBase builds one training iteration of ViT-B/32 (Dosovitskiy et al.,
+// 2021) on 224×224 ImageNet inputs: 7×7 = 49 patches plus a class token.
+func ViTBase(cfg TransformerConfig) *dnn.Graph {
+	applyViTDefaults(&cfg)
+	tp := newTape("ViT", cfg.Batch, cfg.SizeScale)
+
+	img := tp.inputImage(3, 224, 224)
+	// Patch embedding: a 32×32/32 convolution to Hidden channels.
+	patches := tp.conv2d("patch.conv", img, cfg.Hidden, 32, 32, 0, 1)
+	tokens := int64(patches.H) * int64(patches.W)
+	flat := tp.reshape("patch.flatten", patches.v, int64(cfg.Batch)*tokens*int64(cfg.Hidden))
+	// Prepend the class token (SeqLen = tokens + 1).
+	x := tp.reshape("cls.concat", flat, int64(cfg.Batch)*int64(cfg.SeqLen)*int64(cfg.Hidden))
+	x = tp.withWeight("pos.add", x, int64(cfg.SeqLen)*int64(cfg.Hidden), 1)
+	x = tp.unary("emb.dropout", x, 2)
+
+	for l := 0; l < cfg.Layers; l++ {
+		x = encoderLayer(tp, fmt.Sprintf("layer%d", l), x, cfg)
+	}
+
+	x = tp.normalize("head.ln", x, cfg.Hidden)
+	cls := tp.reshape("head.cls", x, int64(cfg.Batch)*int64(cfg.Hidden))
+	logits := tp.linear("head.fc", cls, cfg.Hidden, cfg.Classes)
+	tp.unary("head.softmax", logits, 5)
+	return tp.finish()
+}
+
+// encoderLayer emits one pre/post-LN transformer encoder block with
+// multi-head self-attention and a GELU MLP, at the kernel granularity a
+// framework trace shows: separate Q/K/V projections, permute copies,
+// batched score and context matmuls, and dropout after attention and both
+// residual branches.
+func encoderLayer(tp *tape, name string, x *val, cfg TransformerConfig) *val {
+	defer tp.enter(name)()
+	B, L, H := int64(cfg.Batch), int64(cfg.SeqLen), int64(cfg.Hidden)
+	rows := B * L
+
+	q := tp.linearRows("attn.q", x, rows, cfg.Hidden, cfg.Hidden)
+	k := tp.linearRows("attn.k", x, rows, cfg.Hidden, cfg.Hidden)
+	v := tp.linearRows("attn.v", x, rows, cfg.Hidden, cfg.Hidden)
+	qt := tp.unary("attn.q_permute", q, 1)
+	kt := tp.unary("attn.k_permute", k, 1)
+	vt := tp.unary("attn.v_permute", v, 1)
+
+	scoreElems := B * int64(cfg.Heads) * L * L
+	matmulFLOPs := 2 * float64(B) * float64(L) * float64(L) * float64(H)
+	scores := tp.matmul("attn.scores", qt, kt, scoreElems, matmulFLOPs)
+	probs := tp.unary("attn.softmax", scores, 5)
+	probs = tp.unaryInplace("attn.dropout", probs, 2)
+	ctx := tp.matmul("attn.context", probs, vt, rows*H, matmulFLOPs)
+	ctxT := tp.unary("attn.ctx_permute", ctx, 1)
+
+	proj := tp.linearRows("attn.proj", ctxT, rows, cfg.Hidden, cfg.Hidden)
+	proj = tp.unaryInplace("attn.proj_dropout", proj, 2)
+	res1 := tp.addInto("attn.residual", proj, x)
+	ln1 := tp.normalize("attn.ln", res1, cfg.Hidden)
+
+	fc1 := tp.linearRows("mlp.fc1", ln1, rows, cfg.Hidden, cfg.FFN)
+	act := tp.unary("mlp.gelu", fc1, 8)
+	fc2 := tp.linearRows("mlp.fc2", act, rows, cfg.FFN, cfg.Hidden)
+	fc2 = tp.unaryInplace("mlp.dropout", fc2, 2)
+	res2 := tp.addInto("mlp.residual", fc2, ln1)
+	return tp.normalize("mlp.ln", res2, cfg.Hidden)
+}
+
+func applyBERTDefaults(cfg *TransformerConfig) {
+	if cfg.SeqLen == 0 {
+		cfg.SeqLen = 128
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 768
+	}
+	if cfg.Layers == 0 {
+		cfg.Layers = 12
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = 12
+	}
+	if cfg.FFN == 0 {
+		cfg.FFN = 3072
+	}
+	if cfg.Vocab == 0 {
+		cfg.Vocab = 30522
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 2 // CoLA is binary acceptability
+	}
+}
+
+func applyViTDefaults(cfg *TransformerConfig) {
+	if cfg.SeqLen == 0 {
+		cfg.SeqLen = 50 // 49 patches + class token
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 768
+	}
+	if cfg.Layers == 0 {
+		cfg.Layers = 12
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = 12
+	}
+	if cfg.FFN == 0 {
+		cfg.FFN = 3072
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 1000
+	}
+}

@@ -1,0 +1,537 @@
+// Package planner implements G10's smart tensor migration scheduler: the
+// smart eviction algorithm of §4.3 (Algorithm 1), the eviction-destination
+// policy (SSD first, host when the SSD channel saturates), and the smart
+// prefetching pass of §4.4 (latest-safe prefetch times, eagerly rescheduled
+// earlier while GPU memory allows). Its output is the instrumented program
+// of Figure 9: the kernel stream annotated with g10_alloc / g10_free /
+// g10_pre_evict / g10_prefetch instructions at kernel boundaries.
+//
+// The planner works entirely on the estimated timeline (profiled kernel
+// durations) and tracks three global states, exactly as §4.3 describes:
+// the set of candidate inactive periods, the estimated memory pressure over
+// time, and the estimated per-channel bandwidth utilization.
+package planner
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"g10sim/internal/units"
+	"g10sim/internal/uvm"
+	"g10sim/internal/vitality"
+)
+
+// Config holds the planning-time view of the system (Table 2 defaults).
+type Config struct {
+	GPUCapacity  units.Bytes
+	HostCapacity units.Bytes
+	// UseHost enables host memory as an eviction destination; disabled for
+	// the G10-GDS ablation.
+	UseHost bool
+	// UseSSD enables the SSD as an eviction destination.
+	UseSSD bool
+
+	SSDWriteBW  units.Bandwidth
+	SSDReadBW   units.Bandwidth
+	HostWriteBW units.Bandwidth // GPU -> host (PCIe-bound)
+	HostReadBW  units.Bandwidth // host -> GPU (PCIe-bound)
+
+	// SSDFullThreshold is the busy fraction above which the to-SSD channel
+	// counts as "full" in Algorithm 1's destination choice.
+	SSDFullThreshold float64
+	// MaxDecisions bounds the eviction search (safety valve).
+	MaxDecisions int
+}
+
+// Default returns the paper's system configuration: 40 GB GPU, 128 GB host,
+// Z-NAND SSD bandwidths, PCIe 3.0 ×16 host link.
+func Default() Config {
+	return Config{
+		GPUCapacity:      40 * units.GB,
+		HostCapacity:     128 * units.GB,
+		UseHost:          true,
+		UseSSD:           true,
+		SSDWriteBW:       units.GBps(3.0),
+		SSDReadBW:        units.GBps(3.2),
+		HostWriteBW:      units.GBps(15.754),
+		HostReadBW:       units.GBps(15.754),
+		SSDFullThreshold: 0.85,
+		MaxDecisions:     200000,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SSDFullThreshold <= 0 {
+		c.SSDFullThreshold = 0.85
+	}
+	if c.MaxDecisions <= 0 {
+		c.MaxDecisions = 200000
+	}
+	if !c.UseSSD && !c.UseHost {
+		c.UseSSD = true
+	}
+	return c
+}
+
+// Decision is one scheduled eviction/prefetch pair for one inactive period.
+type Decision struct {
+	Period *vitality.Period
+	Target uvm.Location // InFlash or InHost
+	// EvictBoundary: the g10_pre_evict instruction is instrumented before
+	// kernel EvictBoundary (right after the period's last-use kernel).
+	EvictBoundary int
+	// PrefetchBoundary: the g10_prefetch instruction is instrumented
+	// before kernel PrefetchBoundary.
+	PrefetchBoundary int
+	// Estimated times on the planning timeline.
+	EvictStart    units.Time
+	EvictDone     units.Time
+	PrefetchStart units.Time
+	Deadline      units.Time
+}
+
+// Plan is the scheduler's output.
+type Plan struct {
+	Analysis  *vitality.Analysis
+	Config    Config
+	Decisions []Decision
+	Program   *Program
+	// PeakPressure is the planned maximum GPU memory pressure.
+	PeakPressure units.Bytes
+	// ResidualOverflow is how far the planned pressure still exceeds the
+	// GPU capacity (0 when the plan fully fits; the runtime pays faults
+	// for any residual).
+	ResidualOverflow units.Bytes
+	// PlannedSSDBytes / PlannedHostBytes are the eviction volumes by
+	// destination (one direction; prefetch doubles them).
+	PlannedSSDBytes  units.Bytes
+	PlannedHostBytes units.Bytes
+}
+
+// planner carries Algorithm 1's three global states.
+type planner struct {
+	a   *vitality.Analysis
+	cfg Config
+
+	n        int
+	starts   []units.Time
+	total    units.Time
+	pressure []float64 // bytes per kernel slot
+	hostUsed []float64 // bytes per kernel slot
+
+	ssdWrite, ssdRead   *channel
+	hostWrite, hostRead *channel
+
+	decisions []Decision
+}
+
+// New runs the full scheduling pipeline and returns the plan.
+func New(a *vitality.Analysis, cfg Config) *Plan {
+	cfg = cfg.withDefaults()
+	n := len(a.Graph.Kernels)
+	pl := &planner{
+		a:        a,
+		cfg:      cfg,
+		n:        n,
+		starts:   a.Starts,
+		total:    a.Starts[n],
+		pressure: make([]float64, n),
+		hostUsed: make([]float64, n),
+	}
+	for k := 0; k < n; k++ {
+		pl.pressure[k] = float64(a.AliveBytes[k])
+	}
+	pl.ssdWrite = newChannel("ssd-write", a.Starts, cfg.SSDWriteBW)
+	pl.ssdRead = newChannel("ssd-read", a.Starts, cfg.SSDReadBW)
+	pl.hostWrite = newChannel("host-write", a.Starts, cfg.HostWriteBW)
+	pl.hostRead = newChannel("host-read", a.Starts, cfg.HostReadBW)
+
+	pl.scheduleEvictions()
+	pl.schedulePrefetches()
+
+	plan := &Plan{
+		Analysis:  a,
+		Config:    cfg,
+		Decisions: pl.decisions,
+	}
+	for k := 0; k < n; k++ {
+		b := units.Bytes(pl.pressure[k])
+		if b > plan.PeakPressure {
+			plan.PeakPressure = b
+		}
+	}
+	if plan.PeakPressure > cfg.GPUCapacity {
+		plan.ResidualOverflow = plan.PeakPressure - cfg.GPUCapacity
+	}
+	for i := range pl.decisions {
+		d := &pl.decisions[i]
+		if d.Target == uvm.InFlash {
+			plan.PlannedSSDBytes += d.Period.Tensor.Size
+		} else {
+			plan.PlannedHostBytes += d.Period.Tensor.Size
+		}
+	}
+	plan.Program = emit(a, pl.decisions)
+	return plan
+}
+
+// ---- Phase 1: smart tensor eviction (Algorithm 1) ----
+
+// candidate is a heap entry for the lazy-greedy search. Benefits only
+// decrease as pressure drops, so a popped candidate whose recomputed ratio
+// still dominates the next entry is the true argmax.
+type candidate struct {
+	period *vitality.Period
+	ratio  float64 // benefit/cost at last evaluation
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].ratio > h[j].ratio }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() any          { old := *h; c := old[len(old)-1]; *h = old[:len(old)-1]; return c }
+func (h candHeap) peekRatio() float64 { return h[0].ratio }
+
+func (pl *planner) scheduleEvictions() {
+	cap := float64(pl.cfg.GPUCapacity)
+
+	h := &candHeap{}
+	for i := range pl.a.Periods {
+		p := &pl.a.Periods[i]
+		ratio := pl.evalRatio(p)
+		if ratio > 0 {
+			*h = append(*h, candidate{period: p, ratio: ratio})
+		}
+	}
+	heap.Init(h)
+
+	for len(*h) > 0 && len(pl.decisions) < pl.cfg.MaxDecisions {
+		if pl.maxExcess(cap) <= 0 {
+			break // Algorithm 1 line 3: pressure fits — done.
+		}
+		c := heap.Pop(h).(candidate)
+		ratio := pl.evalRatio(c.period)
+		if ratio <= 0 {
+			continue // no longer beneficial; drop (benefit is monotone).
+		}
+		if h.Len() > 0 && ratio < h.peekRatio() {
+			// Stale value: reinsert with the fresh ratio.
+			heap.Push(h, candidate{period: c.period, ratio: ratio})
+			continue
+		}
+		pl.commit(c.period)
+	}
+}
+
+// maxExcess reports the largest pressure overshoot in bytes.
+func (pl *planner) maxExcess(cap float64) float64 {
+	var worst float64
+	for _, p := range pl.pressure {
+		if e := p - cap; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// evictCost is Algorithm 1's candidate cost: eviction plus prefetch latency
+// on the chosen destination's channels.
+func (pl *planner) evictCost(size units.Bytes, target uvm.Location) float64 {
+	if target == uvm.InFlash {
+		return float64(size)/float64(pl.cfg.SSDWriteBW) + float64(size)/float64(pl.cfg.SSDReadBW)
+	}
+	return float64(size)/float64(pl.cfg.HostWriteBW) + float64(size)/float64(pl.cfg.HostReadBW)
+}
+
+// chooseTarget applies Algorithm 1's destination policy (lines 7–17): evict
+// to the SSD unless its write channel is full over the eviction window and
+// the host has room — and fall back to whichever destination is feasible
+// when only one can complete the round trip inside the period.
+func (pl *planner) chooseTarget(p *vitality.Period) (target uvm.Location, from, to units.Time, ok bool) {
+	size := p.Tensor.Size
+	var sFrom, sTo, hFrom, hTo units.Time
+	ssdOK, hostOK := false, false
+	if pl.cfg.UseSSD {
+		sFrom, sTo, ssdOK = pl.freeWindow(p, uvm.InFlash)
+	}
+	if pl.cfg.UseHost && pl.hostFits(p, size) {
+		hFrom, hTo, hostOK = pl.freeWindow(p, uvm.InHost)
+	}
+	switch {
+	case ssdOK && hostOK:
+		ts := units.TransferTime(size, pl.cfg.SSDWriteBW)
+		ssdFull := pl.ssdWrite.busyFrac(p.Start, p.Start+ts) >= pl.cfg.SSDFullThreshold
+		if ssdFull {
+			return uvm.InHost, hFrom, hTo, true
+		}
+		return uvm.InFlash, sFrom, sTo, true
+	case ssdOK:
+		return uvm.InFlash, sFrom, sTo, true
+	case hostOK:
+		return uvm.InHost, hFrom, hTo, true
+	default:
+		return uvm.Unmapped, 0, 0, false
+	}
+}
+
+// evalRatio computes the candidate's current benefit/cost: the pressure-
+// above-capacity area the eviction removes (Figure 7's shaded area) divided
+// by the I/O time it occupies.
+func (pl *planner) evalRatio(p *vitality.Period) float64 {
+	target, from, to, ok := pl.chooseTarget(p)
+	if !ok {
+		return 0
+	}
+	cost := pl.evictCost(p.Tensor.Size, target)
+	if cost <= 0 {
+		return 0
+	}
+	return pl.excessArea(from, to, float64(p.Tensor.Size)) / cost
+}
+
+// freeWindow previews the interval during which the eviction would leave
+// GPU memory free: from the (contention-aware) eviction completion to the
+// (analytic) latest-safe prefetch start.
+func (pl *planner) freeWindow(p *vitality.Period, target uvm.Location) (from, to units.Time, ok bool) {
+	size := p.Tensor.Size
+	wch, rbw := pl.ssdWrite, pl.cfg.SSDReadBW
+	if target == uvm.InHost {
+		wch, rbw = pl.hostWrite, pl.cfg.HostReadBW
+	}
+	done, ok := wch.scheduleForward(p.Start, size, false)
+	if !ok {
+		return 0, 0, false
+	}
+	latest := p.End - units.TransferTime(size, rbw)
+	if latest <= done {
+		return 0, 0, false
+	}
+	return done, latest, true
+}
+
+// excessArea integrates min(size, pressure-cap) over the full kernel slots
+// inside [from, to] — the eviction's benefit in byte·seconds.
+func (pl *planner) excessArea(from, to units.Time, size float64) float64 {
+	cap := float64(pl.cfg.GPUCapacity)
+	var area float64
+	pl.forEachFullSlot(from, to, func(k int) {
+		excess := pl.pressure[k] - cap
+		if excess <= 0 {
+			return
+		}
+		if excess > size {
+			excess = size
+		}
+		area += excess * (pl.starts[k+1] - pl.starts[k]).Seconds()
+	})
+	return area
+}
+
+// forEachFullSlot visits every kernel slot fully contained in [from, to],
+// where to may exceed the iteration total (cyclic wrap onto early slots).
+func (pl *planner) forEachFullSlot(from, to units.Time, fn func(k int)) {
+	if to <= from {
+		return
+	}
+	n := pl.n
+	startOf := func(g int64) units.Time {
+		return pl.starts[int(g%int64(n))] + units.Time(g/int64(n))*pl.total
+	}
+	// First global slot starting at or after from.
+	lap := int64(from / pl.total)
+	rem := from - units.Time(lap)*pl.total
+	k := sort.Search(n, func(i int) bool { return pl.starts[i] >= rem })
+	g := lap*int64(n) + int64(k)
+	for ; startOf(g+1) <= to; g++ {
+		fn(int(g % int64(n)))
+	}
+}
+
+// commit applies Algorithm 1's lines 6–17 for the selected period: pick the
+// destination, book the eviction on its channel, and update pressure and
+// host-occupancy state.
+func (pl *planner) commit(p *vitality.Period) {
+	size := p.Tensor.Size
+	target, from, to, ok := pl.chooseTarget(p)
+	if !ok {
+		return
+	}
+	wch := pl.ssdWrite
+	if target == uvm.InHost {
+		wch = pl.hostWrite
+	}
+	done, ok := wch.scheduleForward(p.Start, size, true)
+	if !ok {
+		return
+	}
+
+	// Reduce pressure over the free window.
+	pl.forEachFullSlot(from, to, func(k int) { pl.pressure[k] -= float64(size) })
+	// Host occupancy covers the whole period.
+	if target == uvm.InHost {
+		pl.forEachTouchedSlot(p.Start, p.End, func(k int) { pl.hostUsed[k] += float64(size) })
+	}
+
+	pl.decisions = append(pl.decisions, Decision{
+		Period:        p,
+		Target:        target,
+		EvictBoundary: p.AfterKernel + 1,
+		EvictStart:    p.Start,
+		EvictDone:     done,
+		Deadline:      p.End,
+	})
+}
+
+// hostFits checks host capacity across the period's slots (line 10).
+func (pl *planner) hostFits(p *vitality.Period, size units.Bytes) bool {
+	if !pl.cfg.UseHost || pl.cfg.HostCapacity <= 0 {
+		return false
+	}
+	fits := true
+	pl.forEachTouchedSlot(p.Start, p.End, func(k int) {
+		if pl.hostUsed[k]+float64(size) > float64(pl.cfg.HostCapacity) {
+			fits = false
+		}
+	})
+	return fits
+}
+
+// forEachTouchedSlot visits every slot overlapping [from, to] (cyclic).
+func (pl *planner) forEachTouchedSlot(from, to units.Time, fn func(k int)) {
+	if to <= from {
+		return
+	}
+	n := pl.n
+	visit := func(a, b units.Time) {
+		if b <= a {
+			return
+		}
+		k0 := sort.Search(n, func(i int) bool { return pl.starts[i+1] > a })
+		for k := k0; k < n && pl.starts[k] < b; k++ {
+			fn(k)
+		}
+	}
+	if to > pl.total {
+		visit(from, pl.total)
+		visit(0, to-pl.total)
+	} else {
+		visit(from, to)
+	}
+}
+
+// ---- Phase 2: smart tensor prefetching (§4.4) ----
+
+func (pl *planner) schedulePrefetches() {
+	capBytes := float64(pl.cfg.GPUCapacity)
+	// §4.4: traverse evicted periods in latest-safe-prefetch-time order.
+	order := make([]int, len(pl.decisions))
+	for i := range order {
+		order[i] = i
+	}
+	type latestInfo struct {
+		start units.Time
+		ok    bool
+	}
+	latest := make([]latestInfo, len(pl.decisions))
+	for i := range pl.decisions {
+		d := &pl.decisions[i]
+		rch := pl.ssdRead
+		if d.Target == uvm.InHost {
+			rch = pl.hostRead
+		}
+		s, ok := rch.scheduleBackward(d.Deadline, d.Period.Tensor.Size, false)
+		latest[i] = latestInfo{start: s, ok: ok}
+	}
+	sort.SliceStable(order, func(x, y int) bool { return latest[order[x]].start < latest[order[y]].start })
+
+	for _, i := range order {
+		d := &pl.decisions[i]
+		size := d.Period.Tensor.Size
+		rch := pl.ssdRead
+		if d.Target == uvm.InHost {
+			rch = pl.hostRead
+		}
+		start, ok := rch.scheduleBackward(d.Deadline, size, true)
+		if !ok {
+			// Channel saturated: fall back to the analytic latest time;
+			// the runtime will absorb the stall.
+			start = d.Deadline - units.TransferTime(size, units.Bandwidth(rch.bw))
+		}
+		d.PrefetchStart = start
+
+		// Map the start to an issue boundary (the kernel during which the
+		// transfer should begin), in cyclic terms.
+		bLatest := pl.cyclicSlot(start)
+		bEarliestLimit := pl.cyclicSlot(d.EvictDone) + 1 // cannot fetch before eviction lands
+
+		// Eager rescheduling: walk backwards while the tensor also fits.
+		b := bLatest
+		for b > bEarliestLimit {
+			k := ((b-1)%pl.n + pl.n) % pl.n
+			if pl.pressure[k]+float64(size) > capBytes {
+				break
+			}
+			b--
+		}
+		// The tensor re-occupies memory from the issue slot to the latest
+		// slot (it was counted from the latest slot onwards already).
+		for g := b; g < bLatest; g++ {
+			k := (g%pl.n + pl.n) % pl.n
+			pl.pressure[k] += float64(size)
+		}
+		d.PrefetchBoundary = ((b % pl.n) + pl.n) % pl.n
+	}
+}
+
+// cyclicSlot maps a (possibly negative or wrapped) time to a global slot
+// number such that consecutive times map to consecutive numbers.
+func (pl *planner) cyclicSlot(t units.Time) int {
+	lap := 0
+	for t < 0 {
+		t += pl.total
+		lap -= 1
+	}
+	for t >= pl.total {
+		t -= pl.total
+		lap += 1
+	}
+	k := sort.Search(pl.n, func(i int) bool { return pl.starts[i+1] > t })
+	if k >= pl.n {
+		k = pl.n - 1
+	}
+	return lap*pl.n + k
+}
+
+// Validate checks the plan's invariants (used by tests): evictions sit
+// inside their periods and prefetch boundaries precede the next use.
+func (p *Plan) Validate() error {
+	n := len(p.Analysis.Graph.Kernels)
+	seen := map[*vitality.Period]bool{}
+	for i := range p.Decisions {
+		d := &p.Decisions[i]
+		if seen[d.Period] {
+			return fmt.Errorf("planner: period of %s scheduled twice", d.Period.Tensor.Name)
+		}
+		seen[d.Period] = true
+		if d.EvictBoundary != d.Period.AfterKernel+1 {
+			return fmt.Errorf("planner: eviction of %s at boundary %d, period starts after kernel %d",
+				d.Period.Tensor.Name, d.EvictBoundary, d.Period.AfterKernel)
+		}
+		if d.PrefetchBoundary < 0 || d.PrefetchBoundary > n {
+			return fmt.Errorf("planner: prefetch boundary %d out of range", d.PrefetchBoundary)
+		}
+		if !d.Period.Wraps {
+			if d.PrefetchBoundary > d.Period.NextUse {
+				return fmt.Errorf("planner: prefetch of %s at boundary %d after next use %d",
+					d.Period.Tensor.Name, d.PrefetchBoundary, d.Period.NextUse)
+			}
+		}
+		if d.Target != uvm.InFlash && d.Target != uvm.InHost {
+			return fmt.Errorf("planner: decision %d has target %v", i, d.Target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"fmt"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/uvm"
+	"g10sim/internal/vitality"
+)
+
+// OpKind is the instrumentation instruction set of §4.4/Figure 9.
+type OpKind int
+
+const (
+	// OpAlloc is g10_alloc: asynchronously allocate a GPU buffer.
+	OpAlloc OpKind = iota
+	// OpFree is g10_free: asynchronously release a buffer.
+	OpFree
+	// OpPreEvict is g10_pre_evict(vaddr, size, target).
+	OpPreEvict
+	// OpPrefetch is g10_prefetch(vaddr, size).
+	OpPrefetch
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAlloc:
+		return "g10_alloc"
+	case OpFree:
+		return "g10_free"
+	case OpPreEvict:
+		return "g10_pre_evict"
+	case OpPrefetch:
+		return "g10_prefetch"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Instr is one instrumented instruction.
+type Instr struct {
+	Kind   OpKind
+	Tensor *dnn.Tensor
+	// Target is the eviction destination for OpPreEvict.
+	Target uvm.Location
+}
+
+func (in Instr) String() string {
+	if in.Kind == OpPreEvict {
+		return fmt.Sprintf("%s(%s, %v, %v)", in.Kind, in.Tensor.Name, in.Tensor.Size, in.Target)
+	}
+	return fmt.Sprintf("%s(%s, %v)", in.Kind, in.Tensor.Name, in.Tensor.Size)
+}
+
+// Program is the instrumented GPU program: the graph's kernel stream plus
+// instructions issued at kernel boundaries. Boundaries[b] runs before
+// kernel b; Boundaries[n] runs after the last kernel of the iteration.
+type Program struct {
+	Graph      *dnn.Graph
+	Boundaries [][]Instr
+}
+
+// emit lowers vitality analysis plus migration decisions into the
+// instruction stream, ordering each boundary as: frees, pre-evictions,
+// allocations, prefetches (release memory before claiming it).
+func emit(a *vitality.Analysis, decisions []Decision) *Program {
+	n := len(a.Graph.Kernels)
+	frees := make([][]Instr, n+1)
+	evicts := make([][]Instr, n+1)
+	allocs := make([][]Instr, n+1)
+	fetches := make([][]Instr, n+1)
+
+	for id := range a.Infos {
+		info := &a.Infos[id]
+		t := info.Tensor
+		if t.Kind == dnn.Global {
+			continue // allocated once at program start, never freed
+		}
+		allocs[info.BornAt] = append(allocs[info.BornAt], Instr{Kind: OpAlloc, Tensor: t})
+		if info.DeadAt <= n {
+			frees[info.DeadAt] = append(frees[info.DeadAt], Instr{Kind: OpFree, Tensor: t})
+		}
+	}
+	for i := range decisions {
+		d := &decisions[i]
+		evicts[d.EvictBoundary] = append(evicts[d.EvictBoundary],
+			Instr{Kind: OpPreEvict, Tensor: d.Period.Tensor, Target: d.Target})
+		fetches[d.PrefetchBoundary] = append(fetches[d.PrefetchBoundary],
+			Instr{Kind: OpPrefetch, Tensor: d.Period.Tensor})
+	}
+
+	p := &Program{Graph: a.Graph, Boundaries: make([][]Instr, n+1)}
+	for b := 0; b <= n; b++ {
+		var list []Instr
+		list = append(list, frees[b]...)
+		list = append(list, evicts[b]...)
+		list = append(list, allocs[b]...)
+		list = append(list, fetches[b]...)
+		p.Boundaries[b] = list
+	}
+	return p
+}
+
+// EmptyProgram builds a program with allocation/free instrumentation only —
+// what a non-G10 memory manager sees (baselines manage migrations
+// themselves).
+func EmptyProgram(a *vitality.Analysis) *Program {
+	return emit(a, nil)
+}
+
+// CountKind reports how many instructions of one kind the program contains.
+func (p *Program) CountKind(k OpKind) int {
+	var n int
+	for _, b := range p.Boundaries {
+		for _, in := range b {
+			if in.Kind == k {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EmitProgram lowers externally constructed decisions (e.g. FlashNeuron's
+// offline offload plan) into an instrumented program.
+func EmitProgram(a *vitality.Analysis, decisions []Decision) *Program {
+	return emit(a, decisions)
+}

@@ -1,0 +1,158 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/profile"
+	"g10sim/internal/units"
+	"g10sim/internal/uvm"
+	"g10sim/internal/vitality"
+)
+
+// randomLayeredGraph builds a random forward/backward chain whose tensors
+// have varied sizes and reuse distances — a fuzz source for Algorithm 1.
+func randomLayeredGraph(rng *rand.Rand, layers int) (*dnn.Graph, *profile.Trace) {
+	b := dnn.NewBuilder("fuzz", 1)
+	prev := b.Tensor("in", dnn.Intermediate, units.Bytes(rng.Intn(8)+1)*units.MB)
+	acts := []*dnn.Tensor{prev}
+	var durs []units.Duration
+	for i := 0; i < layers; i++ {
+		out := b.Tensor("a", dnn.Intermediate, units.Bytes(rng.Intn(32)+1)*units.MB)
+		ins := []*dnn.Tensor{prev}
+		if rng.Intn(3) == 0 && len(acts) > 2 {
+			// Random skip connection: an old activation joins in.
+			ins = append(ins, acts[rng.Intn(len(acts))])
+		}
+		if rng.Intn(4) == 0 {
+			w := b.Tensor("w", dnn.Global, units.Bytes(rng.Intn(4)+1)*units.MB)
+			ins = append(ins, w)
+		}
+		b.Kernel("f", dnn.Forward, 1e9, ins, []*dnn.Tensor{out})
+		durs = append(durs, units.Duration(rng.Intn(9)+2)*units.Millisecond)
+		acts = append(acts, out)
+		prev = out
+	}
+	// Backward: touch activations in reverse.
+	grad := b.Tensor("g", dnn.Intermediate, 4*units.MB)
+	b.Kernel("loss", dnn.Backward, 1e6, []*dnn.Tensor{prev}, []*dnn.Tensor{grad})
+	durs = append(durs, 2*units.Millisecond)
+	for i := len(acts) - 1; i >= 0; i-- {
+		b.Kernel("b", dnn.Backward, 1e9, []*dnn.Tensor{acts[i], grad}, []*dnn.Tensor{grad})
+		durs = append(durs, units.Duration(rng.Intn(9)+2)*units.Millisecond)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g, &profile.Trace{Durations: durs}
+}
+
+// TestPlanInvariantsOnRandomGraphs fuzzes Algorithm 1 and checks the plan
+// invariants from DESIGN.md §7 on every sample.
+func TestPlanInvariantsOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g, tr := randomLayeredGraph(rng, 10+rng.Intn(30))
+		a := vitality.MustAnalyze(g, tr)
+
+		cfg := Default()
+		// Random capacity between the largest working set and the peak.
+		lo := float64(a.PeakActive())
+		hi := float64(a.PeakAlive())
+		if hi <= lo {
+			continue
+		}
+		cfg.GPUCapacity = units.Bytes(lo + rng.Float64()*(hi-lo))
+		cfg.HostCapacity = units.Bytes(rng.Intn(256)) * units.MB
+		cfg.UseHost = rng.Intn(2) == 0
+
+		plan := New(a, cfg)
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The plan never makes pressure worse than the no-migration case.
+		if plan.PeakPressure > a.PeakAlive() {
+			t.Fatalf("trial %d: planned peak %v above baseline %v", trial, plan.PeakPressure, a.PeakAlive())
+		}
+		// Residual is consistent with the reported peak.
+		wantResidual := units.Bytes(0)
+		if plan.PeakPressure > cfg.GPUCapacity {
+			wantResidual = plan.PeakPressure - cfg.GPUCapacity
+		}
+		if plan.ResidualOverflow != wantResidual {
+			t.Fatalf("trial %d: residual %v, want %v", trial, plan.ResidualOverflow, wantResidual)
+		}
+		// Host-disabled plans never target host memory.
+		if !cfg.UseHost {
+			for _, d := range plan.Decisions {
+				if d.Target == uvm.InHost {
+					t.Fatalf("trial %d: host eviction with UseHost=false", trial)
+				}
+			}
+		}
+		// Traffic bookkeeping adds up.
+		var ssd, host units.Bytes
+		for _, d := range plan.Decisions {
+			if d.Target == uvm.InFlash {
+				ssd += d.Period.Tensor.Size
+			} else {
+				host += d.Period.Tensor.Size
+			}
+		}
+		if ssd != plan.PlannedSSDBytes || host != plan.PlannedHostBytes {
+			t.Fatalf("trial %d: traffic bookkeeping mismatch", trial)
+		}
+	}
+}
+
+// TestPlanDeterministic: the scheduler must be a pure function of its
+// inputs (same graph, trace, config => identical decisions).
+func TestPlanDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, tr := randomLayeredGraph(rng, 24)
+	a := vitality.MustAnalyze(g, tr)
+	cfg := Default()
+	cfg.GPUCapacity = a.PeakActive() + (a.PeakAlive()-a.PeakActive())/3
+	cfg.HostCapacity = 64 * units.MB
+
+	p1 := New(a, cfg)
+	p2 := New(a, cfg)
+	if len(p1.Decisions) != len(p2.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(p1.Decisions), len(p2.Decisions))
+	}
+	for i := range p1.Decisions {
+		d1, d2 := p1.Decisions[i], p2.Decisions[i]
+		if d1.Period != d2.Period || d1.Target != d2.Target ||
+			d1.EvictBoundary != d2.EvictBoundary || d1.PrefetchBoundary != d2.PrefetchBoundary {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, d1, d2)
+		}
+	}
+	if p1.PeakPressure != p2.PeakPressure {
+		t.Fatalf("peaks differ: %v vs %v", p1.PeakPressure, p2.PeakPressure)
+	}
+}
+
+// TestMoreCapacityNeverIncreasesDecisions: giving the scheduler more GPU
+// memory can only reduce (or keep) the planned migration volume.
+func TestMoreCapacityNeverIncreasesDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g, tr := randomLayeredGraph(rng, 28)
+	a := vitality.MustAnalyze(g, tr)
+
+	var prevTraffic units.Bytes = 1 << 60
+	lo, hi := float64(a.PeakActive()), float64(a.PeakAlive())
+	for frac := 0.2; frac <= 1.01; frac += 0.2 {
+		cfg := Default()
+		cfg.GPUCapacity = units.Bytes(lo + frac*(hi-lo))
+		cfg.HostCapacity = units.GB
+		plan := New(a, cfg)
+		traffic := plan.PlannedSSDBytes + plan.PlannedHostBytes
+		if traffic > prevTraffic {
+			t.Errorf("capacity %.0f%%: planned traffic %v rose from %v",
+				100*frac, traffic, prevTraffic)
+		}
+		prevTraffic = traffic
+	}
+}

@@ -1,0 +1,27 @@
+package profile
+
+import (
+	"testing"
+
+	"g10sim/internal/models"
+)
+
+// TestTimeScaleCalibration verifies that, with each model's calibrated
+// TimeScale, the Ideal (infinite-memory) iteration time reproduces the Ideal
+// throughput the paper reports in Fig. 15 within 2%.
+func TestTimeScaleCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-batch model construction in -short mode")
+	}
+	for _, spec := range models.Catalog() {
+		g := spec.Build(spec.PaperBatch)
+		tr := Profile(g, A100(spec.TimeScale))
+		gotRate := float64(spec.PaperBatch) / tr.Total().Seconds()
+		dev := (gotRate - spec.PaperIdealRate) / spec.PaperIdealRate
+		t.Logf("%-12s ideal rate %7.2f/s, paper %7.2f/s (dev %+.1f%%)",
+			spec.Name, gotRate, spec.PaperIdealRate, 100*dev)
+		if dev < -0.02 || dev > 0.02 {
+			t.Errorf("%s ideal rate %v off paper's %v by more than 2%%", spec.Name, gotRate, spec.PaperIdealRate)
+		}
+	}
+}

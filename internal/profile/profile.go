@@ -1,0 +1,173 @@
+// Package profile substitutes for the paper's offline A100 kernel profiling
+// (§4.2: "G10 performs offline compile-time profiling, and uses the
+// execution times of the GPU kernels to estimate the lengths of the inactive
+// time periods").
+//
+// Kernel durations come from a roofline model — a kernel takes
+// max(FLOPs/peak-compute, bytes/peak-bandwidth)/efficiency plus a fixed
+// launch overhead — multiplied by a per-model TimeScale calibrated so the
+// Ideal (infinite-memory) iteration time matches the Ideal throughput the
+// paper reports in Fig. 15. The calibration is what preserves the paper's
+// compute-vs-PCIe-bandwidth balance; see DESIGN.md §1.
+//
+// Perturb implements the profiling-error injection of Fig. 19.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+// Config models the GPU the kernels are profiled on.
+type Config struct {
+	// PeakFLOPS is the peak FP32 compute rate (A100: 19.5 TFLOP/s).
+	PeakFLOPS float64
+	// MemBandwidth is the on-board memory bandwidth (A100 40GB: ~1.55 TB/s).
+	MemBandwidth units.Bandwidth
+	// Efficiency is the fraction of the roofline real kernels achieve.
+	Efficiency float64
+	// LaunchOverhead is the fixed per-kernel launch/dispatch cost.
+	LaunchOverhead units.Duration
+	// TimeScale is the per-model calibration multiplier (models.Spec).
+	TimeScale float64
+}
+
+// A100 returns the default configuration for the paper's testbed GPU
+// (Table 2) with the given per-model time scale.
+func A100(timeScale float64) Config {
+	return Config{
+		PeakFLOPS:      19.5e12,
+		MemBandwidth:   units.GBps(1555),
+		Efficiency:     0.45,
+		LaunchOverhead: 4 * units.Microsecond,
+		TimeScale:      timeScale,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.PeakFLOPS <= 0 {
+		c.PeakFLOPS = 19.5e12
+	}
+	if c.MemBandwidth <= 0 {
+		c.MemBandwidth = units.GBps(1555)
+	}
+	if c.Efficiency <= 0 {
+		c.Efficiency = 0.45
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	return c
+}
+
+// KernelTime reports the modeled duration of one kernel.
+func (c Config) KernelTime(k *dnn.Kernel) units.Duration {
+	c = c.withDefaults()
+	compute := k.FLOPs / c.PeakFLOPS
+	memory := float64(k.MemBytes) / float64(c.MemBandwidth)
+	bound := compute
+	if memory > bound {
+		bound = memory
+	}
+	secs := bound / c.Efficiency
+	d := units.Duration(secs*float64(units.Second)) + c.LaunchOverhead
+	d = units.Duration(float64(d) * c.TimeScale)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Trace holds the profiled duration of every kernel of a graph, in
+// execution order. It is the second input (besides the graph) to the tensor
+// vitality analyzer.
+type Trace struct {
+	Model     string           `json:"model"`
+	Batch     int              `json:"batch"`
+	Durations []units.Duration `json:"durations_ns"`
+}
+
+// Profile runs the timing model over a graph.
+func Profile(g *dnn.Graph, cfg Config) *Trace {
+	t := &Trace{
+		Model:     g.Name,
+		Batch:     g.Batch,
+		Durations: make([]units.Duration, len(g.Kernels)),
+	}
+	for i, k := range g.Kernels {
+		t.Durations[i] = cfg.KernelTime(k)
+	}
+	return t
+}
+
+// Total reports the iteration time with no memory stalls — the Ideal
+// baseline's execution time.
+func (t *Trace) Total() units.Duration {
+	var sum units.Duration
+	for _, d := range t.Durations {
+		sum += d
+	}
+	return sum
+}
+
+// StartTimes reports each kernel's start time on the ideal timeline
+// (prefix sums of durations), plus a final entry equal to Total.
+func (t *Trace) StartTimes() []units.Time {
+	starts := make([]units.Time, len(t.Durations)+1)
+	var acc units.Time
+	for i, d := range t.Durations {
+		starts[i] = acc
+		acc += d
+	}
+	starts[len(t.Durations)] = acc
+	return starts
+}
+
+// Perturb returns a copy with each duration scaled by a uniform random
+// factor in [1-maxFrac, 1+maxFrac] — the Fig. 19 profiling-error experiment.
+// The receiver is unmodified.
+func (t *Trace) Perturb(maxFrac float64, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Trace{Model: t.Model, Batch: t.Batch, Durations: make([]units.Duration, len(t.Durations))}
+	for i, d := range t.Durations {
+		f := 1 + maxFrac*(2*rng.Float64()-1)
+		nd := units.Duration(float64(d) * f)
+		if nd < 1 {
+			nd = 1
+		}
+		out.Durations[i] = nd
+	}
+	return out
+}
+
+// Save writes the trace as JSON.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Load reads a JSON trace and validates it against the graph it will be
+// replayed with (nil graph skips the check).
+func Load(r io.Reader, g *dnn.Graph) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("profile: load: %w", err)
+	}
+	if g != nil {
+		if len(t.Durations) != len(g.Kernels) {
+			return nil, fmt.Errorf("profile: trace has %d kernels, graph %q has %d",
+				len(t.Durations), g.Name, len(g.Kernels))
+		}
+	}
+	for i, d := range t.Durations {
+		if d <= 0 {
+			return nil, fmt.Errorf("profile: kernel %d has non-positive duration %d", i, d)
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,200 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/models"
+	"g10sim/internal/units"
+)
+
+func testConfig() Config { return A100(1) }
+
+func TestKernelTimeComputeBound(t *testing.T) {
+	cfg := Config{PeakFLOPS: 1e12, MemBandwidth: units.GBps(1000), Efficiency: 1, TimeScale: 1}
+	k := &dnn.Kernel{FLOPs: 1e12, MemBytes: units.KB}
+	// 1e12 FLOPs at 1e12 FLOP/s = 1s.
+	got := cfg.KernelTime(k)
+	if got < units.Second || got > units.Second+units.Millisecond {
+		t.Errorf("compute-bound time = %v, want ~1s", got)
+	}
+}
+
+func TestKernelTimeMemoryBound(t *testing.T) {
+	cfg := Config{PeakFLOPS: 1e15, MemBandwidth: units.GBps(1), Efficiency: 1, TimeScale: 1}
+	k := &dnn.Kernel{FLOPs: 1, MemBytes: units.GB}
+	got := cfg.KernelTime(k)
+	if got < units.Second || got > units.Second+units.Millisecond {
+		t.Errorf("memory-bound time = %v, want ~1s", got)
+	}
+}
+
+func TestEfficiencyScalesTime(t *testing.T) {
+	k := &dnn.Kernel{FLOPs: 1e12, MemBytes: units.KB}
+	full := Config{PeakFLOPS: 1e12, MemBandwidth: units.GBps(1000), Efficiency: 1}.KernelTime(k)
+	half := Config{PeakFLOPS: 1e12, MemBandwidth: units.GBps(1000), Efficiency: 0.5}.KernelTime(k)
+	ratio := float64(half) / float64(full)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("efficiency 0.5 gave ratio %v, want 2", ratio)
+	}
+}
+
+func TestTimeScaleMultiplies(t *testing.T) {
+	k := &dnn.Kernel{FLOPs: 1e12, MemBytes: units.KB}
+	base := Config{PeakFLOPS: 1e12, MemBandwidth: units.GBps(1000), Efficiency: 1, TimeScale: 1}.KernelTime(k)
+	tripled := Config{PeakFLOPS: 1e12, MemBandwidth: units.GBps(1000), Efficiency: 1, TimeScale: 3}.KernelTime(k)
+	ratio := float64(tripled) / float64(base)
+	if ratio < 2.99 || ratio > 3.01 {
+		t.Errorf("TimeScale 3 gave ratio %v", ratio)
+	}
+}
+
+func TestProfileAndTotals(t *testing.T) {
+	g := models.TinyMLP(8)
+	tr := Profile(g, testConfig())
+	if len(tr.Durations) != len(g.Kernels) {
+		t.Fatalf("durations = %d, kernels = %d", len(tr.Durations), len(g.Kernels))
+	}
+	var sum units.Duration
+	for _, d := range tr.Durations {
+		if d <= 0 {
+			t.Fatal("non-positive duration")
+		}
+		sum += d
+	}
+	if tr.Total() != sum {
+		t.Errorf("Total = %v, want %v", tr.Total(), sum)
+	}
+}
+
+func TestStartTimes(t *testing.T) {
+	tr := &Trace{Durations: []units.Duration{10, 20, 30}}
+	starts := tr.StartTimes()
+	want := []units.Time{0, 10, 30, 60}
+	if len(starts) != len(want) {
+		t.Fatalf("len = %d", len(starts))
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Errorf("starts[%d] = %v, want %v", i, starts[i], want[i])
+		}
+	}
+}
+
+func TestPerturbBounds(t *testing.T) {
+	g := models.TinyCNN(4)
+	tr := Profile(g, testConfig())
+	for _, frac := range []float64{0.05, 0.10, 0.20} {
+		p := tr.Perturb(frac, 7)
+		if len(p.Durations) != len(tr.Durations) {
+			t.Fatal("length changed")
+		}
+		for i := range p.Durations {
+			lo := float64(tr.Durations[i]) * (1 - frac - 1e-9)
+			hi := float64(tr.Durations[i]) * (1 + frac + 1e-9)
+			got := float64(p.Durations[i])
+			if got < lo || got > hi {
+				t.Fatalf("perturbed duration %v outside [%v, %v]", got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPerturbDeterministicPerSeed(t *testing.T) {
+	tr := &Trace{Durations: []units.Duration{1000, 2000, 3000}}
+	a := tr.Perturb(0.2, 42)
+	b := tr.Perturb(0.2, 42)
+	c := tr.Perturb(0.2, 43)
+	same, diff := true, false
+	for i := range a.Durations {
+		if a.Durations[i] != b.Durations[i] {
+			same = false
+		}
+		if a.Durations[i] != c.Durations[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different traces")
+	}
+	if !diff {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestPerturbZeroIsIdentityModuloRounding(t *testing.T) {
+	tr := &Trace{Durations: []units.Duration{1000, 2000}}
+	p := tr.Perturb(0, 1)
+	for i := range p.Durations {
+		if p.Durations[i] != tr.Durations[i] {
+			t.Errorf("Perturb(0) changed duration %d", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := models.TinyMLP(4)
+	tr := Profile(g, testConfig())
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != tr.Model || got.Batch != tr.Batch {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	for i := range got.Durations {
+		if got.Durations[i] != tr.Durations[i] {
+			t.Fatalf("duration %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedGraph(t *testing.T) {
+	g := models.TinyMLP(4)
+	tr := Profile(g, testConfig())
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := models.TinyCNN(4)
+	if _, err := Load(&buf, other); err == nil || !strings.Contains(err.Error(), "kernels") {
+		t.Errorf("expected kernel-count error, got %v", err)
+	}
+}
+
+func TestLoadRejectsBadDurations(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"model":"x","batch":1,"durations_ns":[0]}`), nil); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := Load(strings.NewReader(`not json`), nil); err == nil {
+		t.Error("expected error for bad JSON")
+	}
+}
+
+// Property: perturbed totals stay within the global bound.
+func TestPerturbTotalProperty(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tr := &Trace{Durations: make([]units.Duration, len(raw))}
+		for i, r := range raw {
+			tr.Durations[i] = units.Duration(r) + 1
+		}
+		p := tr.Perturb(0.15, seed)
+		lo := float64(tr.Total()) * (1 - 0.15 - 1e-6)
+		hi := float64(tr.Total())*(1+0.15+1e-6) + float64(len(raw)) // rounding slack
+		tot := float64(p.Total())
+		return tot >= lo-float64(len(raw)) && tot <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

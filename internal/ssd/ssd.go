@@ -1,0 +1,509 @@
+// Package ssd simulates the flash solid-state drive backing the unified
+// memory space: geometry (channels × chips × blocks × pages), a page-mapped
+// flash translation layer with log-structured writes, greedy garbage
+// collection with overprovisioning, write-amplification accounting, and the
+// DWPD lifetime model of the paper's §7.7.
+//
+// The exterior timing contract (sustained read/write bandwidth and access
+// latency) is calibrated to the Samsung Z-NAND SZ985 of Table 2
+// (3.2/3.0 GB/s, 20/16 µs, 3.2 TB); garbage collection degrades the
+// effective write bandwidth by the current write-amplification factor,
+// which the interconnect model picks up when migrations are in flight.
+//
+// To keep full-scale simulations tractable the FTL maps fixed-size units
+// ("pages" here) of 1 MB by default rather than 4 KB; the GC and WA
+// behaviour depends on the ratio of working set to capacity, not on the
+// absolute unit (see DESIGN.md §1).
+package ssd
+
+import (
+	"fmt"
+
+	"g10sim/internal/units"
+)
+
+// Config describes the device geometry and calibrated exterior behaviour.
+type Config struct {
+	// Geometry.
+	Channels        int
+	ChipsPerChannel int
+	PageSize        units.Bytes // FTL mapping unit
+	PagesPerBlock   int
+	Capacity        units.Bytes // logical (host-visible) capacity
+	OverProvision   float64     // extra physical space fraction
+	// GCThreshold triggers collection when the free-block fraction of a
+	// chip falls below it.
+	GCThreshold float64
+
+	// Calibrated exterior behaviour (Table 2).
+	ReadBandwidth  units.Bandwidth
+	WriteBandwidth units.Bandwidth
+	ReadLatency    units.Duration
+	WriteLatency   units.Duration
+
+	// Endurance for the §7.7 lifetime model.
+	EnduranceDWPD float64
+	RatedDays     float64
+}
+
+// ZNAND returns the paper's SSD: Samsung SZ985-like Z-NAND, 3.2 TB,
+// 3.2/3.0 GB/s, 20/16 µs, rated 30 drive-writes-per-day for five years.
+func ZNAND() Config {
+	return Config{
+		Channels:        8,
+		ChipsPerChannel: 4,
+		PageSize:        units.MB,
+		PagesPerBlock:   64,
+		Capacity:        3200 * units.GB,
+		OverProvision:   0.07,
+		GCThreshold:     0.05,
+		ReadBandwidth:   units.GBps(3.2),
+		WriteBandwidth:  units.GBps(3.0),
+		ReadLatency:     20 * units.Microsecond,
+		WriteLatency:    16 * units.Microsecond,
+		EnduranceDWPD:   30,
+		RatedDays:       1825,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Channels <= 0 {
+		c.Channels = 8
+	}
+	if c.ChipsPerChannel <= 0 {
+		c.ChipsPerChannel = 4
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = units.MB
+	}
+	if c.PagesPerBlock <= 0 {
+		c.PagesPerBlock = 64
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 3200 * units.GB
+	}
+	if c.OverProvision <= 0 {
+		c.OverProvision = 0.07
+	}
+	if c.GCThreshold <= 0 {
+		c.GCThreshold = 0.05
+	}
+	if c.EnduranceDWPD <= 0 {
+		c.EnduranceDWPD = 30
+	}
+	if c.RatedDays <= 0 {
+		c.RatedDays = 1825
+	}
+	return c
+}
+
+// Page states.
+const (
+	pageFree uint8 = iota
+	pageValid
+	pageInvalid
+)
+
+const unmapped = int64(-1)
+
+// LogicalRange is a contiguous run of logical pages assigned to a tensor.
+type LogicalRange struct {
+	Start, Count int64
+}
+
+// Bytes reports the range size given the device page size.
+func (r LogicalRange) bytes(pageSize units.Bytes) units.Bytes {
+	return units.Bytes(r.Count) * pageSize
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	HostReadBytes  units.Bytes
+	HostWriteBytes units.Bytes
+	NANDWriteBytes units.Bytes // host writes + GC relocations
+	GCRelocated    int64       // pages moved by GC
+	GCRuns         int64
+	Erases         int64
+}
+
+// Device is one simulated SSD.
+type Device struct {
+	cfg Config
+
+	totalPhysPages int64
+	blocks         int64 // total physical blocks
+	chips          int
+
+	mapping   []int64 // logical page -> physical page (or unmapped)
+	reverse   []int64 // physical page -> logical page (or unmapped)
+	pageState []uint8
+
+	validInBlock []int32 // valid-page count per block
+	writePtr     []int64 // per chip: next physical page in its active block
+	activeBlock  []int64 // per chip: current log block (-1 = none)
+	freeBlocks   [][]int64
+	nextChip     int
+
+	allocCursor int64
+	freeList    []LogicalRange
+
+	stats Stats
+}
+
+// New builds a device. Geometry must divide evenly; use ZNAND() or the test
+// helpers for consistent configs.
+func New(cfg Config) (*Device, error) {
+	cfg = cfg.withDefaults()
+	logicalPages := int64(cfg.Capacity / cfg.PageSize)
+	physPages := int64(float64(logicalPages) * (1 + cfg.OverProvision))
+	chips := cfg.Channels * cfg.ChipsPerChannel
+	blocks := physPages / int64(cfg.PagesPerBlock)
+	// Round blocks up to a multiple of chips (slightly increasing the
+	// overprovision) so striping stays uniform without eating the spare
+	// space on small devices.
+	if rem := blocks % int64(chips); rem != 0 {
+		blocks += int64(chips) - rem
+	}
+	if blocks < int64(2*chips) {
+		return nil, fmt.Errorf("ssd: capacity too small for geometry (%d blocks, %d chips)", blocks, chips)
+	}
+	physPages = blocks * int64(cfg.PagesPerBlock)
+	if physPages <= logicalPages {
+		return nil, fmt.Errorf("ssd: physical pages (%d) not above logical (%d); raise OverProvision", physPages, logicalPages)
+	}
+
+	d := &Device{
+		cfg:            cfg,
+		totalPhysPages: physPages,
+		blocks:         blocks,
+		chips:          chips,
+		mapping:        make([]int64, logicalPages),
+		reverse:        make([]int64, physPages),
+		pageState:      make([]uint8, physPages),
+		validInBlock:   make([]int32, blocks),
+		writePtr:       make([]int64, chips),
+		activeBlock:    make([]int64, chips),
+		freeBlocks:     make([][]int64, chips),
+	}
+	for i := range d.mapping {
+		d.mapping[i] = unmapped
+	}
+	for i := range d.reverse {
+		d.reverse[i] = unmapped
+	}
+	// Distribute blocks round-robin across chips.
+	for b := int64(0); b < blocks; b++ {
+		chip := int(b % int64(chips))
+		d.freeBlocks[chip] = append(d.freeBlocks[chip], b)
+	}
+	for c := 0; c < chips; c++ {
+		d.activeBlock[c] = -1
+	}
+	return d, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Device {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration (with defaults applied).
+func (d *Device) Config() Config { return d.cfg }
+
+// PageSize reports the FTL mapping unit.
+func (d *Device) PageSize() units.Bytes { return d.cfg.PageSize }
+
+// PagesFor reports how many device pages hold n bytes.
+func (d *Device) PagesFor(n units.Bytes) int64 { return units.PagesFor(n, d.cfg.PageSize) }
+
+// Alloc reserves a contiguous logical range of n pages.
+func (d *Device) Alloc(n int64) (LogicalRange, error) {
+	if n <= 0 {
+		return LogicalRange{}, fmt.Errorf("ssd: alloc of %d pages", n)
+	}
+	// First fit from the free list.
+	for i, r := range d.freeList {
+		if r.Count >= n {
+			out := LogicalRange{Start: r.Start, Count: n}
+			if r.Count == n {
+				d.freeList = append(d.freeList[:i], d.freeList[i+1:]...)
+			} else {
+				d.freeList[i] = LogicalRange{Start: r.Start + n, Count: r.Count - n}
+			}
+			return out, nil
+		}
+	}
+	if d.allocCursor+n > int64(len(d.mapping)) {
+		return LogicalRange{}, fmt.Errorf("ssd: out of logical space (%d pages requested, %d free at tail)",
+			n, int64(len(d.mapping))-d.allocCursor)
+	}
+	out := LogicalRange{Start: d.allocCursor, Count: n}
+	d.allocCursor += n
+	return out, nil
+}
+
+// Free releases a logical range (TRIM): mapped pages are invalidated.
+func (d *Device) Free(r LogicalRange) {
+	for lp := r.Start; lp < r.Start+r.Count; lp++ {
+		if pp := d.mapping[lp]; pp != unmapped {
+			d.invalidate(pp)
+			d.mapping[lp] = unmapped
+		}
+	}
+	d.freeList = append(d.freeList, r)
+}
+
+func (d *Device) invalidate(pp int64) {
+	if d.pageState[pp] == pageValid {
+		d.pageState[pp] = pageInvalid
+		d.validInBlock[pp/int64(d.cfg.PagesPerBlock)]--
+		d.reverse[pp] = unmapped
+	}
+}
+
+// Write programs every page of the range (a tensor eviction). Previously
+// mapped pages are invalidated, new pages are appended log-structured, and
+// GC runs when a chip exhausts its free blocks. Returns the number of pages
+// GC relocated as a side effect (the caller charges that work to the
+// device's internal bandwidth).
+func (d *Device) Write(r LogicalRange) (gcRelocated int64, err error) {
+	before := d.stats.GCRelocated
+	for lp := r.Start; lp < r.Start+r.Count; lp++ {
+		if lp < 0 || lp >= int64(len(d.mapping)) {
+			return 0, fmt.Errorf("ssd: write beyond logical space at page %d", lp)
+		}
+		if pp := d.mapping[lp]; pp != unmapped {
+			d.invalidate(pp)
+		}
+		pp, werr := d.program(lp)
+		if werr != nil {
+			return d.stats.GCRelocated - before, werr
+		}
+		d.mapping[lp] = pp
+	}
+	d.stats.HostWriteBytes += r.bytes(d.cfg.PageSize)
+	d.stats.NANDWriteBytes += r.bytes(d.cfg.PageSize)
+	return d.stats.GCRelocated - before, nil
+}
+
+// Read verifies the range is mapped and accounts the traffic.
+func (d *Device) Read(r LogicalRange) error {
+	for lp := r.Start; lp < r.Start+r.Count; lp++ {
+		if lp < 0 || lp >= int64(len(d.mapping)) || d.mapping[lp] == unmapped {
+			return fmt.Errorf("ssd: read of unmapped logical page %d", lp)
+		}
+	}
+	d.stats.HostReadBytes += r.bytes(d.cfg.PageSize)
+	return nil
+}
+
+// program appends one page for logical page lp on the next chip
+// (round-robin striping), running GC if the chip is out of blocks.
+func (d *Device) program(lp int64) (int64, error) {
+	chip := d.nextChip
+	d.nextChip = (d.nextChip + 1) % d.chips
+	pp, err := d.appendOnChip(chip)
+	if err != nil {
+		return 0, err
+	}
+	d.pageState[pp] = pageValid
+	d.reverse[pp] = lp
+	d.validInBlock[pp/int64(d.cfg.PagesPerBlock)]++
+	return pp, nil
+}
+
+func (d *Device) appendOnChip(chip int) (int64, error) {
+	ppb := int64(d.cfg.PagesPerBlock)
+	if d.activeBlock[chip] >= 0 && d.writePtr[chip] < (d.activeBlock[chip]+1)*ppb {
+		pp := d.writePtr[chip]
+		d.writePtr[chip]++
+		return pp, nil
+	}
+	// Need a fresh block; collect if the chip is low.
+	if d.lowOnBlocks(chip) {
+		if err := d.collect(chip); err != nil {
+			return 0, err
+		}
+	}
+	if len(d.freeBlocks[chip]) == 0 {
+		return 0, fmt.Errorf("ssd: chip %d out of blocks after GC", chip)
+	}
+	b := d.freeBlocks[chip][0]
+	d.freeBlocks[chip] = d.freeBlocks[chip][1:]
+	d.activeBlock[chip] = b
+	d.writePtr[chip] = b * ppb
+	pp := d.writePtr[chip]
+	d.writePtr[chip]++
+	return pp, nil
+}
+
+func (d *Device) lowOnBlocks(chip int) bool {
+	perChip := d.blocks / int64(d.chips)
+	return float64(len(d.freeBlocks[chip])) < d.cfg.GCThreshold*float64(perChip)+1
+}
+
+// collect performs greedy GC on one chip: pick the sealed block with the
+// fewest valid pages, relocate them, erase.
+func (d *Device) collect(chip int) error {
+	ppb := int64(d.cfg.PagesPerBlock)
+	d.stats.GCRuns++
+	for d.lowOnBlocks(chip) {
+		victim := int64(-1)
+		best := int32(d.cfg.PagesPerBlock) + 1
+		for b := int64(chip); b < d.blocks; b += int64(d.chips) {
+			if b == d.activeBlock[chip] || d.isFree(chip, b) {
+				continue
+			}
+			if d.validInBlock[b] < best {
+				best = d.validInBlock[b]
+				victim = b
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("ssd: chip %d has no GC victim", chip)
+		}
+		if best == int32(d.cfg.PagesPerBlock) {
+			return fmt.Errorf("ssd: chip %d full of valid data (logical overcommit)", chip)
+		}
+		// Relocate valid pages into the chip's active block stream.
+		for pp := victim * ppb; pp < (victim+1)*ppb; pp++ {
+			if d.pageState[pp] != pageValid {
+				continue
+			}
+			lp := d.reverse[pp]
+			d.pageState[pp] = pageInvalid
+			d.validInBlock[victim]--
+			d.reverse[pp] = unmapped
+
+			np, err := d.appendOnChipForGC(chip, victim)
+			if err != nil {
+				return err
+			}
+			d.pageState[np] = pageValid
+			d.reverse[np] = lp
+			d.validInBlock[np/ppb]++
+			d.mapping[lp] = np
+			d.stats.GCRelocated++
+			d.stats.NANDWriteBytes += d.cfg.PageSize
+		}
+		// Erase the victim.
+		for pp := victim * ppb; pp < (victim+1)*ppb; pp++ {
+			d.pageState[pp] = pageFree
+		}
+		d.stats.Erases++
+		d.freeBlocks[chip] = append(d.freeBlocks[chip], victim)
+	}
+	return nil
+}
+
+// appendOnChipForGC appends without re-entering GC (the erased victim is
+// about to come back to the free list).
+func (d *Device) appendOnChipForGC(chip int, victim int64) (int64, error) {
+	ppb := int64(d.cfg.PagesPerBlock)
+	if d.activeBlock[chip] >= 0 && d.writePtr[chip] < (d.activeBlock[chip]+1)*ppb {
+		pp := d.writePtr[chip]
+		d.writePtr[chip]++
+		return pp, nil
+	}
+	if len(d.freeBlocks[chip]) == 0 {
+		return 0, fmt.Errorf("ssd: chip %d deadlocked during GC of block %d", chip, victim)
+	}
+	b := d.freeBlocks[chip][0]
+	d.freeBlocks[chip] = d.freeBlocks[chip][1:]
+	d.activeBlock[chip] = b
+	d.writePtr[chip] = b * ppb
+	pp := d.writePtr[chip]
+	d.writePtr[chip]++
+	return pp, nil
+}
+
+func (d *Device) isFree(chip int, b int64) bool {
+	for _, fb := range d.freeBlocks[chip] {
+		if fb == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// WriteAmplification reports NAND writes divided by host writes (>= 1).
+func (d *Device) WriteAmplification() float64 {
+	if d.stats.HostWriteBytes == 0 {
+		return 1
+	}
+	return float64(d.stats.NANDWriteBytes) / float64(d.stats.HostWriteBytes)
+}
+
+// EffectiveWriteBandwidth is the sustained host write bandwidth after GC
+// steals its share: rated bandwidth divided by write amplification.
+func (d *Device) EffectiveWriteBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(d.cfg.WriteBandwidth) / d.WriteAmplification())
+}
+
+// EffectiveReadBandwidth is the rated read bandwidth (GC reads are folded
+// into the write path's amplification charge).
+func (d *Device) EffectiveReadBandwidth() units.Bandwidth { return d.cfg.ReadBandwidth }
+
+// LifetimeYears implements §7.7: endurance bytes (DWPD × capacity × rated
+// days) divided by a continuous write rate.
+func (c Config) LifetimeYears(writeRate units.Bandwidth) float64 {
+	c = c.withDefaults()
+	if writeRate <= 0 {
+		return 0
+	}
+	enduranceBytes := c.EnduranceDWPD * float64(c.Capacity) * c.RatedDays
+	seconds := enduranceBytes / float64(writeRate)
+	return seconds / (365.25 * 24 * 3600)
+}
+
+// FreePhysicalPages reports unwritten physical pages (for tests).
+func (d *Device) FreePhysicalPages() int64 {
+	var n int64
+	for _, s := range d.pageState {
+		if s == pageFree {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckConsistency validates FTL invariants: every mapped logical page
+// points at a valid physical page that points back, and per-block valid
+// counts match page states. For tests.
+func (d *Device) CheckConsistency() error {
+	counts := make([]int32, d.blocks)
+	for pp, st := range d.pageState {
+		if st != pageValid {
+			continue
+		}
+		counts[int64(pp)/int64(d.cfg.PagesPerBlock)]++
+		lp := d.reverse[pp]
+		if lp == unmapped {
+			return fmt.Errorf("ssd: valid page %d has no reverse mapping", pp)
+		}
+		if d.mapping[lp] != int64(pp) {
+			return fmt.Errorf("ssd: page %d reverse-maps to %d whose mapping is %d", pp, lp, d.mapping[lp])
+		}
+	}
+	for b := int64(0); b < d.blocks; b++ {
+		if counts[b] != d.validInBlock[b] {
+			return fmt.Errorf("ssd: block %d valid count %d, recount %d", b, d.validInBlock[b], counts[b])
+		}
+	}
+	for lp, pp := range d.mapping {
+		if pp == unmapped {
+			continue
+		}
+		if d.pageState[pp] != pageValid {
+			return fmt.Errorf("ssd: logical %d maps to non-valid physical %d", lp, pp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package units provides the base quantities used throughout the simulator:
+// simulated time, byte sizes, and bandwidths.
+//
+// Simulated time is an int64 nanosecond count from the start of the
+// simulation. It is deliberately not time.Time: simulations start at zero and
+// only durations and ordering matter. Bandwidth is bytes per second as a
+// float64 so that transfer-time arithmetic stays exact enough at GB/s scales.
+package units
+
+import "fmt"
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a sentinel "infinitely far in the future" time.
+const Forever Time = 1<<63 - 1
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t < 0:
+		return fmt.Sprintf("-%v", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Bytes is a byte count (tensor sizes, memory capacities, traffic volumes).
+type Bytes int64
+
+// Common sizes.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// GiB reports b as floating-point gibibytes.
+func (b Bytes) GiB() float64 { return float64(b) / float64(GB) }
+
+// String formats the size with an adaptive unit.
+func (b Bytes) String() string {
+	switch {
+	case b < 0:
+		return fmt.Sprintf("-%v", -b)
+	case b < KB:
+		return fmt.Sprintf("%dB", int64(b))
+	case b < MB:
+		return fmt.Sprintf("%.1fKB", float64(b)/float64(KB))
+	case b < GB:
+		return fmt.Sprintf("%.1fMB", float64(b)/float64(MB))
+	case b < TB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	default:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	}
+}
+
+// Bandwidth is a transfer rate in bytes per second.
+type Bandwidth float64
+
+// GBps builds a Bandwidth from gigabytes (10^9 semantics are NOT used;
+// this simulator follows the paper's convention of binary GB) per second.
+func GBps(gb float64) Bandwidth { return Bandwidth(gb * float64(GB)) }
+
+// GBpsValue reports the bandwidth in (binary) GB per second.
+func (bw Bandwidth) GBpsValue() float64 { return float64(bw) / float64(GB) }
+
+// String formats the bandwidth in GB/s.
+func (bw Bandwidth) String() string { return fmt.Sprintf("%.2fGB/s", bw.GBpsValue()) }
+
+// TransferTime reports how long moving n bytes takes at bandwidth bw.
+// A non-positive bandwidth yields Forever (the transfer can never finish).
+func TransferTime(n Bytes, bw Bandwidth) Duration {
+	if bw <= 0 {
+		return Forever
+	}
+	if n <= 0 {
+		return 0
+	}
+	secs := float64(n) / float64(bw)
+	return Duration(secs * float64(Second))
+}
+
+// PagesFor reports how many pages of pageSize bytes are needed to hold n
+// bytes (ceiling division). pageSize must be positive.
+func PagesFor(n Bytes, pageSize Bytes) int64 {
+	if pageSize <= 0 {
+		panic("units: non-positive page size")
+	}
+	if n <= 0 {
+		return 0
+	}
+	return int64((n + pageSize - 1) / pageSize)
+}
+
+// MinTime returns the earlier of a and b.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinBytes returns the smaller of a and b.
+func MinBytes(a, b Bytes) Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxBytes returns the larger of a and b.
+func MaxBytes(a, b Bytes) Bytes {
+	if a > b {
+		return a
+	}
+	return b
+}

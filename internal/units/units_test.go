@@ -1,0 +1,141 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.50µs"},
+		{45 * Microsecond, "45.00µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+		{Forever, "forever"},
+		{-45 * Microsecond, "-45.00µs"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.0KB"},
+		{40 * GB, "40.00GB"},
+		{3200 * GB, "3.12TB"}, // 3.125 rounds half-to-even
+		{-KB, "-1.0KB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 3.2 GB at 3.2 GB/s should take one second.
+	gb := float64(GB) // force runtime conversion; 3.2*GB is not an integer constant
+	size := Bytes(3.2 * gb)
+	got := TransferTime(size, GBps(3.2))
+	if diff := got - Second; diff > Microsecond || diff < -Microsecond {
+		t.Errorf("TransferTime(3.2GB, 3.2GB/s) = %v, want ~1s", got)
+	}
+	if got := TransferTime(GB, 0); got != Forever {
+		t.Errorf("TransferTime at zero bandwidth = %v, want Forever", got)
+	}
+	if got := TransferTime(0, GBps(1)); got != 0 {
+		t.Errorf("TransferTime(0 bytes) = %v, want 0", got)
+	}
+	if got := TransferTime(-5, GBps(1)); got != 0 {
+		t.Errorf("TransferTime(negative bytes) = %v, want 0", got)
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	// Property: more bytes never take less time at fixed bandwidth.
+	f := func(a, b uint32) bool {
+		x, y := Bytes(a), Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferTime(x, GBps(3.0)) <= TransferTime(y, GBps(3.0))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct {
+		n, page Bytes
+		want    int64
+	}{
+		{0, 4 * KB, 0},
+		{1, 4 * KB, 1},
+		{4 * KB, 4 * KB, 1},
+		{4*KB + 1, 4 * KB, 2},
+		{40 * GB, 4 * KB, 10 * 1024 * 1024},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.n, c.page); got != c.want {
+			t.Errorf("PagesFor(%d, %d) = %d, want %d", c.n, c.page, got, c.want)
+		}
+	}
+}
+
+func TestPagesForPanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PagesFor(1, 0) did not panic")
+		}
+	}()
+	PagesFor(1, 0)
+}
+
+func TestPagesForCoversExactly(t *testing.T) {
+	// Property: pages*pageSize covers n but removing one page does not.
+	f := func(n uint32, shift uint8) bool {
+		page := Bytes(1) << (shift%8 + 9) // 512B..64KB
+		sz := Bytes(n)
+		p := PagesFor(sz, page)
+		if sz == 0 {
+			return p == 0
+		}
+		return Bytes(p)*page >= sz && Bytes(p-1)*page < sz
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if MinTime(1, 2) != 1 || MaxTime(1, 2) != 2 {
+		t.Error("MinTime/MaxTime wrong")
+	}
+	if MinBytes(3, 2) != 2 || MaxBytes(3, 2) != 3 {
+		t.Error("MinBytes/MaxBytes wrong")
+	}
+}
+
+func TestBandwidthRoundTrip(t *testing.T) {
+	bw := GBps(15.754)
+	if v := bw.GBpsValue(); v < 15.753 || v > 15.755 {
+		t.Errorf("GBpsValue = %v, want 15.754", v)
+	}
+	if s := bw.String(); s != "15.75GB/s" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,224 @@
+// Package uvm implements the paper's extended Unified Virtual Memory
+// (§4.5–§4.6): a unified page table whose leaf entries point into GPU
+// memory, host memory, or flash; a GPU-side TLB; and the migration metadata
+// queues plus arbiter that batch tensor migrations into transfer sets
+// (Figure 10).
+//
+// The page table is a 4-level radix tree over 48-bit virtual addresses with
+// a configurable page size. Range operations (MapRange/UnmapRange) are the
+// fast path used by tensor-granularity migrations; they touch the same tree
+// as per-page operations, so the translation semantics are identical at any
+// granularity.
+package uvm
+
+import (
+	"fmt"
+
+	"g10sim/internal/units"
+)
+
+// Location identifies which memory a page currently lives in — the paper's
+// extension is precisely that a PTE may name a flash address (§4.5).
+type Location int
+
+const (
+	// Unmapped marks an absent translation (page fault on access).
+	Unmapped Location = iota
+	// InGPU is on-board HBM.
+	InGPU
+	// InHost is CPU DRAM.
+	InHost
+	// InFlash is the SSD (the G10 extension).
+	InFlash
+)
+
+func (l Location) String() string {
+	switch l {
+	case Unmapped:
+		return "unmapped"
+	case InGPU:
+		return "gpu"
+	case InHost:
+		return "host"
+	case InFlash:
+		return "flash"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// PTE is a leaf page-table entry: where the page is and the device-local
+// frame/page number there.
+type PTE struct {
+	Loc  Location
+	Addr uint64
+}
+
+const (
+	levelBits = 9
+	levels    = 4
+	fanout    = 1 << levelBits
+)
+
+type node struct {
+	children [fanout]*node
+	leaves   []PTE // allocated only at the last level
+	occupied int
+}
+
+// PageTable is the unified (host-side) page table. GPU-local tables and
+// TLBs are kept coherent by the UVM runtime; this simulator models that
+// coherence cost via TLB invalidations on update.
+type PageTable struct {
+	pageBits uint
+	pageSize units.Bytes
+	root     *node
+	mapped   int64
+	// WalkLevels is the number of memory accesses one translation costs —
+	// used by the fault-latency model.
+	WalkLevels int
+}
+
+// NewPageTable builds an empty table for the given page size (a power of
+// two, e.g. 4KB per Table 2).
+func NewPageTable(pageSize units.Bytes) (*PageTable, error) {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("uvm: page size %d not a positive power of two", pageSize)
+	}
+	bits := uint(0)
+	for s := pageSize; s > 1; s >>= 1 {
+		bits++
+	}
+	return &PageTable{pageBits: bits, pageSize: pageSize, root: &node{}, WalkLevels: levels}, nil
+}
+
+// MustNewPageTable panics on config error.
+func MustNewPageTable(pageSize units.Bytes) *PageTable {
+	pt, err := NewPageTable(pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+// PageSize reports the translation granularity.
+func (pt *PageTable) PageSize() units.Bytes { return pt.pageSize }
+
+// Mapped reports how many pages currently have translations.
+func (pt *PageTable) Mapped() int64 { return pt.mapped }
+
+// vpn converts a virtual address to its virtual page number.
+func (pt *PageTable) vpn(va uint64) uint64 { return va >> pt.pageBits }
+
+func indexAt(vpn uint64, level int) int {
+	shift := uint((levels - 1 - level) * levelBits)
+	return int((vpn >> shift) & (fanout - 1))
+}
+
+// Map installs (or replaces) the translation for the page containing va.
+func (pt *PageTable) Map(va uint64, pte PTE) {
+	vpn := pt.vpn(va)
+	n := pt.root
+	for level := 0; level < levels-1; level++ {
+		idx := indexAt(vpn, level)
+		if n.children[idx] == nil {
+			n.children[idx] = &node{}
+			n.occupied++
+		}
+		n = n.children[idx]
+	}
+	if n.leaves == nil {
+		n.leaves = make([]PTE, fanout)
+	}
+	idx := indexAt(vpn, levels-1)
+	if n.leaves[idx].Loc == Unmapped {
+		pt.mapped++
+		n.occupied++
+	}
+	n.leaves[idx] = pte
+}
+
+// Translate walks the table for va. ok is false on a missing translation
+// (page fault).
+func (pt *PageTable) Translate(va uint64) (PTE, bool) {
+	vpn := pt.vpn(va)
+	n := pt.root
+	for level := 0; level < levels-1; level++ {
+		n = n.children[indexAt(vpn, level)]
+		if n == nil {
+			return PTE{}, false
+		}
+	}
+	if n.leaves == nil {
+		return PTE{}, false
+	}
+	pte := n.leaves[indexAt(vpn, levels-1)]
+	if pte.Loc == Unmapped {
+		return PTE{}, false
+	}
+	return pte, true
+}
+
+// Unmap removes the translation for the page containing va, reporting
+// whether one existed.
+func (pt *PageTable) Unmap(va uint64) bool {
+	vpn := pt.vpn(va)
+	n := pt.root
+	for level := 0; level < levels-1; level++ {
+		n = n.children[indexAt(vpn, level)]
+		if n == nil {
+			return false
+		}
+	}
+	if n.leaves == nil {
+		return false
+	}
+	idx := indexAt(vpn, levels-1)
+	if n.leaves[idx].Loc == Unmapped {
+		return false
+	}
+	n.leaves[idx] = PTE{}
+	n.occupied--
+	pt.mapped--
+	return true
+}
+
+// MapRange maps pages contiguous virtual pages starting at va to
+// consecutive device addresses starting at startAddr in loc. This is how a
+// whole-tensor migration updates the table (step 5 of Figure 10).
+func (pt *PageTable) MapRange(va uint64, pages int64, loc Location, startAddr uint64) {
+	for i := int64(0); i < pages; i++ {
+		pt.Map(va+uint64(i)*uint64(pt.pageSize), PTE{Loc: loc, Addr: startAddr + uint64(i)})
+	}
+}
+
+// UnmapRange unmaps a contiguous run of pages, returning how many were
+// mapped.
+func (pt *PageTable) UnmapRange(va uint64, pages int64) int64 {
+	var n int64
+	for i := int64(0); i < pages; i++ {
+		if pt.Unmap(va + uint64(i)*uint64(pt.pageSize)) {
+			n++
+		}
+	}
+	return n
+}
+
+// RangeLocation reports the location of a contiguous range if uniform;
+// mixed or partially unmapped ranges report ok=false.
+func (pt *PageTable) RangeLocation(va uint64, pages int64) (Location, bool) {
+	if pages <= 0 {
+		return Unmapped, false
+	}
+	first, ok := pt.Translate(va)
+	if !ok {
+		return Unmapped, false
+	}
+	for i := int64(1); i < pages; i++ {
+		pte, ok := pt.Translate(va + uint64(i)*uint64(pt.pageSize))
+		if !ok || pte.Loc != first.Loc {
+			return Unmapped, false
+		}
+	}
+	return first.Loc, true
+}

@@ -1,0 +1,136 @@
+package uvm
+
+import (
+	"fmt"
+
+	"g10sim/internal/units"
+)
+
+// TLB is a set-associative translation lookaside buffer with LRU
+// replacement. Migrations invalidate affected entries (the shootdown the
+// paper's UVM extension keeps coherent with the unified page table).
+type TLB struct {
+	sets     int
+	ways     int
+	pageBits uint
+	entries  [][]tlbEntry // per set, most-recently-used first
+
+	hits, misses, shootdowns int64
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	pte   PTE
+	valid bool
+}
+
+// NewTLB builds a sets×ways TLB for the given page size.
+func NewTLB(sets, ways int, pageSize units.Bytes) (*TLB, error) {
+	if sets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("uvm: TLB needs positive sets and ways, got %d×%d", sets, ways)
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("uvm: page size %d not a positive power of two", pageSize)
+	}
+	bits := uint(0)
+	for s := pageSize; s > 1; s >>= 1 {
+		bits++
+	}
+	t := &TLB{sets: sets, ways: ways, pageBits: bits, entries: make([][]tlbEntry, sets)}
+	for i := range t.entries {
+		t.entries[i] = make([]tlbEntry, 0, ways)
+	}
+	return t, nil
+}
+
+// MustNewTLB panics on config error.
+func MustNewTLB(sets, ways int, pageSize units.Bytes) *TLB {
+	t, err := NewTLB(sets, ways, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *TLB) setOf(vpn uint64) int { return int(vpn % uint64(t.sets)) }
+
+// Lookup searches for the translation of va, updating LRU order and
+// hit/miss counters.
+func (t *TLB) Lookup(va uint64) (PTE, bool) {
+	vpn := va >> t.pageBits
+	set := t.entries[t.setOf(vpn)]
+	for i, e := range set {
+		if e.valid && e.vpn == vpn {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			t.hits++
+			return e.pte, true
+		}
+	}
+	t.misses++
+	return PTE{}, false
+}
+
+// Insert fills the translation for va, evicting the set's LRU entry if
+// full.
+func (t *TLB) Insert(va uint64, pte PTE) {
+	vpn := va >> t.pageBits
+	s := t.setOf(vpn)
+	set := t.entries[s]
+	for i, e := range set {
+		if e.valid && e.vpn == vpn {
+			copy(set[1:i+1], set[:i])
+			set[0] = tlbEntry{vpn: vpn, pte: pte, valid: true}
+			return
+		}
+	}
+	if len(set) < t.ways {
+		set = append(set, tlbEntry{})
+	}
+	copy(set[1:], set)
+	set[0] = tlbEntry{vpn: vpn, pte: pte, valid: true}
+	t.entries[s] = set
+}
+
+// Invalidate drops the entry for va if present (single-page shootdown).
+func (t *TLB) Invalidate(va uint64) {
+	vpn := va >> t.pageBits
+	set := t.entries[t.setOf(vpn)]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+			t.shootdowns++
+			return
+		}
+	}
+}
+
+// InvalidateRange shoots down all entries covering [va, va+pages).
+func (t *TLB) InvalidateRange(va uint64, pages int64) {
+	for i := int64(0); i < pages; i++ {
+		t.Invalidate(va + uint64(i)<<t.pageBits)
+	}
+}
+
+// Flush drops every entry.
+func (t *TLB) Flush() {
+	for s := range t.entries {
+		t.entries[s] = t.entries[s][:0]
+	}
+	t.shootdowns++
+}
+
+// Stats reports (hits, misses, shootdowns).
+func (t *TLB) Stats() (hits, misses, shootdowns int64) {
+	return t.hits, t.misses, t.shootdowns
+}
+
+// HitRate reports hits/(hits+misses), or 0 with no lookups.
+func (t *TLB) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}

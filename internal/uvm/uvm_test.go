@@ -1,0 +1,336 @@
+package uvm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"g10sim/internal/units"
+)
+
+func TestPageTableMapTranslate(t *testing.T) {
+	pt := MustNewPageTable(4 * units.KB)
+	pt.Map(0x1000, PTE{Loc: InGPU, Addr: 42})
+	pte, ok := pt.Translate(0x1000)
+	if !ok || pte.Loc != InGPU || pte.Addr != 42 {
+		t.Fatalf("Translate = %+v, %v", pte, ok)
+	}
+	// Same page, different offset.
+	if pte2, ok := pt.Translate(0x1FFF); !ok || pte2 != pte {
+		t.Error("offset within page translated differently")
+	}
+	// Next page unmapped.
+	if _, ok := pt.Translate(0x2000); ok {
+		t.Error("unmapped page translated")
+	}
+	if pt.Mapped() != 1 {
+		t.Errorf("Mapped = %d", pt.Mapped())
+	}
+}
+
+func TestPageTableRemapAndUnmap(t *testing.T) {
+	pt := MustNewPageTable(4 * units.KB)
+	pt.Map(0x4000, PTE{Loc: InGPU, Addr: 1})
+	pt.Map(0x4000, PTE{Loc: InFlash, Addr: 9}) // migration updates in place
+	if pt.Mapped() != 1 {
+		t.Errorf("remap changed count: %d", pt.Mapped())
+	}
+	pte, _ := pt.Translate(0x4000)
+	if pte.Loc != InFlash || pte.Addr != 9 {
+		t.Errorf("remapped PTE = %+v", pte)
+	}
+	if !pt.Unmap(0x4000) {
+		t.Error("Unmap returned false")
+	}
+	if pt.Unmap(0x4000) {
+		t.Error("double Unmap returned true")
+	}
+	if _, ok := pt.Translate(0x4000); ok {
+		t.Error("translated after unmap")
+	}
+}
+
+func TestPageTableFlashPTEs(t *testing.T) {
+	// The G10 extension: leaf PTEs can point at flash addresses (§4.5).
+	pt := MustNewPageTable(4 * units.KB)
+	pt.MapRange(0x10_0000, 16, InFlash, 7000)
+	loc, ok := pt.RangeLocation(0x10_0000, 16)
+	if !ok || loc != InFlash {
+		t.Fatalf("RangeLocation = %v, %v", loc, ok)
+	}
+	pte, _ := pt.Translate(0x10_0000 + 5*4096)
+	if pte.Addr != 7005 {
+		t.Errorf("5th page addr = %d, want 7005", pte.Addr)
+	}
+}
+
+func TestPageTableRangeOps(t *testing.T) {
+	pt := MustNewPageTable(4 * units.KB)
+	pt.MapRange(0, 1000, InGPU, 0)
+	if pt.Mapped() != 1000 {
+		t.Errorf("Mapped = %d", pt.Mapped())
+	}
+	// Migrate the middle third to host.
+	pt.MapRange(333*4096, 334, InHost, 10)
+	if _, ok := pt.RangeLocation(0, 1000); ok {
+		t.Error("mixed range reported uniform")
+	}
+	if loc, ok := pt.RangeLocation(333*4096, 334); !ok || loc != InHost {
+		t.Error("migrated range not in host")
+	}
+	if n := pt.UnmapRange(0, 1000); n != 1000 {
+		t.Errorf("UnmapRange = %d", n)
+	}
+	if pt.Mapped() != 0 {
+		t.Errorf("Mapped after unmap = %d", pt.Mapped())
+	}
+}
+
+func TestPageTableHighAddresses(t *testing.T) {
+	pt := MustNewPageTable(4 * units.KB)
+	// Spread across the 48-bit space to hit distinct radix subtrees.
+	vas := []uint64{0, 1 << 20, 1 << 30, 1 << 38, 1<<39 + 12345<<12}
+	for i, va := range vas {
+		pt.Map(va, PTE{Loc: InHost, Addr: uint64(i)})
+	}
+	for i, va := range vas {
+		pte, ok := pt.Translate(va)
+		if !ok || pte.Addr != uint64(i) {
+			t.Errorf("va %#x => %+v, %v", va, pte, ok)
+		}
+	}
+}
+
+func TestNewPageTableRejectsBadPageSize(t *testing.T) {
+	for _, sz := range []units.Bytes{0, 3000, -4096} {
+		if _, err := NewPageTable(sz); err == nil {
+			t.Errorf("page size %d accepted", sz)
+		}
+	}
+}
+
+// Property: translate(map(va, pte)) == pte for random addresses; unmap
+// clears exactly the mapped page.
+func TestPageTableRoundTripProperty(t *testing.T) {
+	pt := MustNewPageTable(4 * units.KB)
+	f := func(vpnRaw uint32, addr uint32) bool {
+		va := uint64(vpnRaw) << 12
+		pte := PTE{Loc: InFlash, Addr: uint64(addr)}
+		pt.Map(va, pte)
+		got, ok := pt.Translate(va)
+		if !ok || got != pte {
+			return false
+		}
+		if !pt.Unmap(va) {
+			return false
+		}
+		_, ok = pt.Translate(va)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: range ops agree with per-page ops.
+func TestRangeAgreesWithPerPage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		a := MustNewPageTable(4 * units.KB)
+		b := MustNewPageTable(4 * units.KB)
+		base := uint64(rng.Intn(1<<20)) << 12
+		pages := int64(rng.Intn(50) + 1)
+		addr := uint64(rng.Intn(1 << 20))
+		a.MapRange(base, pages, InHost, addr)
+		for i := int64(0); i < pages; i++ {
+			b.Map(base+uint64(i)*4096, PTE{Loc: InHost, Addr: addr + uint64(i)})
+		}
+		for i := int64(0); i < pages; i++ {
+			va := base + uint64(i)*4096
+			pa, oka := a.Translate(va)
+			pb, okb := b.Translate(va)
+			if oka != okb || pa != pb {
+				t.Fatalf("trial %d page %d: range %+v/%v vs per-page %+v/%v", trial, i, pa, oka, pb, okb)
+			}
+		}
+	}
+}
+
+func TestTLBHitMissLRU(t *testing.T) {
+	tlb := MustNewTLB(1, 2, 4*units.KB) // one set, two ways
+	pteA := PTE{Loc: InGPU, Addr: 1}
+	pteB := PTE{Loc: InGPU, Addr: 2}
+	pteC := PTE{Loc: InGPU, Addr: 3}
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	tlb.Insert(0x1000, pteA)
+	tlb.Insert(0x2000, pteB)
+	if got, ok := tlb.Lookup(0x1000); !ok || got != pteA {
+		t.Fatal("miss after insert")
+	}
+	// A is now MRU; inserting C evicts B (LRU).
+	tlb.Insert(0x3000, pteC)
+	if _, ok := tlb.Lookup(0x2000); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := tlb.Lookup(0x1000); !ok {
+		t.Error("MRU entry evicted")
+	}
+	// Lookups: empty miss, hit(A), miss(B evicted), hit(A) = 2 hits, 2 misses.
+	hits, misses, _ := tlb.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+	if tlb.HitRate() != 0.5 {
+		t.Errorf("HitRate = %v", tlb.HitRate())
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tlb := MustNewTLB(4, 4, 4*units.KB)
+	tlb.Insert(0x1000, PTE{Loc: InGPU, Addr: 1})
+	tlb.Invalidate(0x1000)
+	if _, ok := tlb.Lookup(0x1000); ok {
+		t.Error("hit after invalidate")
+	}
+	for i := uint64(0); i < 8; i++ {
+		tlb.Insert(i<<12, PTE{Loc: InGPU, Addr: i})
+	}
+	tlb.InvalidateRange(0, 8)
+	for i := uint64(0); i < 8; i++ {
+		if _, ok := tlb.Lookup(i << 12); ok {
+			t.Fatalf("page %d survived range shootdown", i)
+		}
+	}
+	tlb.Insert(0x9000, PTE{Loc: InHost, Addr: 9})
+	tlb.Flush()
+	if _, ok := tlb.Lookup(0x9000); ok {
+		t.Error("hit after flush")
+	}
+}
+
+func TestTLBInsertUpdatesExisting(t *testing.T) {
+	tlb := MustNewTLB(2, 2, 4*units.KB)
+	tlb.Insert(0x1000, PTE{Loc: InGPU, Addr: 1})
+	tlb.Insert(0x1000, PTE{Loc: InFlash, Addr: 2}) // migration re-insert
+	got, ok := tlb.Lookup(0x1000)
+	if !ok || got.Loc != InFlash || got.Addr != 2 {
+		t.Errorf("updated entry = %+v, %v", got, ok)
+	}
+}
+
+func TestNewTLBRejectsBadConfig(t *testing.T) {
+	if _, err := NewTLB(0, 4, 4*units.KB); err == nil {
+		t.Error("zero sets accepted")
+	}
+	if _, err := NewTLB(4, 0, 4*units.KB); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := NewTLB(4, 4, 3000); err == nil {
+		t.Error("non-power-of-two page accepted")
+	}
+}
+
+func TestArbiterPriorities(t *testing.T) {
+	q := &Queues{}
+	q.Push(&Request{Kind: PreEvict, TensorID: 1, Bytes: units.MB})
+	q.Push(&Request{Kind: Prefetch, TensorID: 2, Bytes: units.MB})
+	q.Push(&Request{Kind: FaultFetch, TensorID: 3, Bytes: units.MB})
+	q.Push(&Request{Kind: FaultFetch, TensorID: 4, Bytes: units.MB})
+
+	a := &Arbiter{MaxBatchBytes: 10 * units.MB}
+	set := a.NextTransferSet(q)
+	if len(set) != 4 {
+		t.Fatalf("set size = %d", len(set))
+	}
+	// Faults first, then prefetch, then evict.
+	order := []int{3, 4, 2, 1}
+	for i, want := range order {
+		if set[i].TensorID != want {
+			t.Errorf("set[%d] = tensor %d, want %d", i, set[i].TensorID, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queues not drained: %d", q.Len())
+	}
+}
+
+func TestArbiterBatchLimit(t *testing.T) {
+	q := &Queues{}
+	for i := 0; i < 5; i++ {
+		q.Push(&Request{Kind: Prefetch, TensorID: i, Bytes: 4 * units.MB})
+	}
+	a := &Arbiter{MaxBatchBytes: 10 * units.MB}
+	// 4+4 = 8MB fits; adding the third would exceed 10MB, so sets come out
+	// as 2, 2, 1.
+	for i, want := range []int{2, 2, 1} {
+		set := a.NextTransferSet(q)
+		if len(set) != want {
+			t.Fatalf("set %d size = %d, want %d", i, len(set), want)
+		}
+	}
+	if a.NextTransferSet(q) != nil {
+		t.Error("empty queues yielded a set")
+	}
+}
+
+func TestArbiterOversizedRequestStillReleased(t *testing.T) {
+	q := &Queues{}
+	q.Push(&Request{Kind: PreEvict, TensorID: 9, Bytes: units.GB})
+	a := &Arbiter{MaxBatchBytes: units.MB}
+	set := a.NextTransferSet(q)
+	if len(set) != 1 || set[0].TensorID != 9 {
+		t.Fatalf("oversized request not released: %v", set)
+	}
+}
+
+func TestQueueLens(t *testing.T) {
+	q := &Queues{}
+	q.Push(&Request{Kind: Prefetch})
+	q.Push(&Request{Kind: PreEvict})
+	if q.LenOf(Prefetch) != 1 || q.LenOf(PreEvict) != 1 || q.LenOf(FaultFetch) != 0 {
+		t.Error("LenOf wrong")
+	}
+	if FaultFetch.String() != "fault" || Prefetch.String() != "prefetch" || PreEvict.String() != "pre-evict" {
+		t.Error("kind strings wrong")
+	}
+	if InFlash.String() != "flash" || Unmapped.String() != "unmapped" {
+		t.Error("location strings wrong")
+	}
+}
+
+func TestTLBManyRandomInsertLookup(t *testing.T) {
+	tlb := MustNewTLB(64, 8, 4*units.KB)
+	rng := rand.New(rand.NewSource(123))
+	ref := map[uint64]PTE{}
+	for i := 0; i < 5000; i++ {
+		va := uint64(rng.Intn(4096)) << 12
+		pte := PTE{Loc: InHost, Addr: uint64(rng.Intn(1 << 20))}
+		tlb.Insert(va, pte)
+		ref[va>>12] = pte
+	}
+	// Every hit must agree with the reference (misses are allowed — the
+	// TLB is smaller than the working set).
+	for vpn, want := range ref {
+		if got, ok := tlb.Lookup(vpn << 12); ok && got != want {
+			t.Fatalf("vpn %d: stale entry %+v, want %+v", vpn, got, want)
+		}
+	}
+}
+
+func TestScheduledRequestKeepsFaultPriority(t *testing.T) {
+	// A Scheduled demand miss rides the fault queue ahead of ordinary
+	// prefetches (G10's late-tensor handling).
+	q := &Queues{}
+	q.Push(&Request{Kind: Prefetch, TensorID: 1, Bytes: units.MB})
+	q.Push(&Request{Kind: FaultFetch, TensorID: 2, Bytes: units.MB, Scheduled: true})
+	a := &Arbiter{MaxBatchBytes: 10 * units.MB}
+	set := a.NextTransferSet(q)
+	if len(set) != 2 || set[0].TensorID != 2 {
+		t.Fatalf("scheduled demand miss not first: %+v", set)
+	}
+	if !set[0].Scheduled || set[1].Scheduled {
+		t.Error("Scheduled flag lost in transit")
+	}
+}
