@@ -8,9 +8,11 @@
 //	g10bench -fig all                # the full harness (takes a while)
 //	g10bench -fig 15 -models BERT    # one sweep, one model
 //	g10bench -fig 11 -short          # shrunken fast mode
+//	g10bench -fig all -json BENCH_figures.json   # machine-readable timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,15 +49,33 @@ func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Se
 	}
 }
 
+// benchRecord is one figure's timing in the BENCH_*.json perf-trajectory
+// format: a flat list of named ns-per-regeneration samples plus run
+// metadata, so successive commits' files can be diffed or plotted.
+type benchRecord struct {
+	Name string `json:"name"`
+	Ns   int64  `json:"ns"`
+}
+
+type benchReport struct {
+	Suite      string        `json:"suite"`
+	Short      bool          `json:"short"`
+	Models     []string      `json:"models,omitempty"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+	TotalNs    int64         `json:"total_ns"`
+}
+
 func main() {
 	var (
-		fig    = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu, or 'all'")
-		short  = flag.Bool("short", false, "shrunken workloads for a fast pass")
-		models = flag.String("models", "", "comma-separated model subset (default: all five)")
+		fig      = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu, or 'all'")
+		short    = flag.Bool("short", false, "shrunken workloads for a fast pass")
+		models   = flag.String("models", "", "comma-separated model subset (default: all five)")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
+		jsonPath = flag.String("json", "", "write per-figure timings as JSON (BENCH_*.json perf-trajectory format) to this path")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Short: *short, W: os.Stdout}
+	opt := experiments.Options{Short: *short, W: os.Stdout, Workers: *workers}
 	if *models != "" {
 		opt.Models = strings.Split(*models, ",")
 	}
@@ -72,6 +92,7 @@ func main() {
 		}
 	}
 
+	report := benchReport{Suite: "g10bench-figures", Short: *short, Models: opt.Models}
 	ran := 0
 	for _, f := range figures {
 		if !want[f.name] {
@@ -82,11 +103,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "g10bench: figure %s: %v\n", f.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("\n[figure %s regenerated in %v]\n\n", f.name, time.Since(t0).Round(time.Millisecond))
+		elapsed := time.Since(t0)
+		fmt.Printf("\n[figure %s regenerated in %v]\n\n", f.name, elapsed.Round(time.Millisecond))
+		report.Benchmarks = append(report.Benchmarks, benchRecord{Name: "figure-" + f.name, Ns: elapsed.Nanoseconds()})
+		report.TotalNs += elapsed.Nanoseconds()
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "g10bench: no figure matched %q\n", *fig)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "g10bench: encoding %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "g10bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,3 @@
+module g10sim
+
+go 1.24

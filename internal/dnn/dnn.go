@@ -11,6 +11,7 @@ package dnn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"g10sim/internal/units"
 )
@@ -85,6 +86,26 @@ type Kernel struct {
 	// internal/profile.
 	FLOPs    float64
 	MemBytes units.Bytes
+
+	// tensorsCache memoizes the deduplicated working set: the runtime
+	// simulator asks for it on every wait-loop iteration and graphs are
+	// shared (read-only) across concurrent simulations, so it is stored
+	// behind an atomic pointer and invalidated when the Inputs/Outputs
+	// slices are replaced.
+	tensorsCache atomic.Pointer[kernelTensors]
+}
+
+// kernelTensors is one memoized Tensors() result together with the input
+// and output slices it was derived from.
+type kernelTensors struct {
+	in, out []*Tensor
+	list    []*Tensor
+}
+
+// sameTensorSlice reports whether two slices are the same view (length and
+// backing array start).
+func sameTensorSlice(a, b []*Tensor) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // WorkingSet reports the total bytes of the kernel's input and output
@@ -108,7 +129,12 @@ func (k *Kernel) WorkingSet() units.Bytes {
 }
 
 // Tensors yields each distinct tensor the kernel touches, inputs first.
+// The result is memoized (recomputed if Inputs or Outputs are replaced);
+// callers must not mutate it.
 func (k *Kernel) Tensors() []*Tensor {
+	if c := k.tensorsCache.Load(); c != nil && sameTensorSlice(c.in, k.Inputs) && sameTensorSlice(c.out, k.Outputs) {
+		return c.list
+	}
 	out := make([]*Tensor, 0, len(k.Inputs)+len(k.Outputs))
 	seen := make(map[int]bool, len(k.Inputs)+len(k.Outputs))
 	for _, t := range k.Inputs {
@@ -123,6 +149,7 @@ func (k *Kernel) Tensors() []*Tensor {
 			out = append(out, t)
 		}
 	}
+	k.tensorsCache.Store(&kernelTensors{in: k.Inputs, out: k.Outputs, list: out})
 	return out
 }
 

@@ -24,6 +24,19 @@ func (s *Session) characterizationBatch(model string, batch int) int {
 	return batch
 }
 
+// prewarmCharacterization builds the Fig. 2–4 analyses across the worker
+// pool; the figures then read them from the cache.
+func (s *Session) prewarmCharacterization() {
+	var jobs []func()
+	for _, cm := range characterizationModels {
+		cm := cm
+		jobs = append(jobs, func() {
+			_, _ = s.Analysis(cm.Model, s.characterizationBatch(cm.Model, cm.Batch))
+		})
+	}
+	s.prewarm(jobs)
+}
+
 // Fig2Row is one sampled point of the memory-consumption curves.
 type Fig2Row struct {
 	Model       string
@@ -37,6 +50,7 @@ type Fig2Row struct {
 func Figure2(s *Session) ([]Fig2Row, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== Figure 2: memory consumption of all and active tensors (% of peak) ===")
+	s.prewarmCharacterization()
 	var rows []Fig2Row
 	for _, cm := range characterizationModels {
 		batch := s.characterizationBatch(cm.Model, cm.Batch)
@@ -80,6 +94,7 @@ type Fig3Row struct {
 func Figure3(s *Session) ([]Fig3Row, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== Figure 3: inactive period length distribution (µs) ===")
+	s.prewarmCharacterization()
 	fmt.Fprintf(w, "%-14s %8s %10s %10s %10s %8s %8s\n", "model", "periods", "p10", "p50", "p90", ">1ms", ">100ms")
 	var rows []Fig3Row
 	for _, cm := range characterizationModels {
@@ -131,6 +146,7 @@ type Fig4Row struct {
 func Figure4(s *Session) ([]Fig4Row, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== Figure 4: inactive periods by tensor size (median µs per size decade) ===")
+	s.prewarmCharacterization()
 	var rows []Fig4Row
 	for _, cm := range characterizationModels {
 		batch := s.characterizationBatch(cm.Model, cm.Batch)

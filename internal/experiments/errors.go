@@ -34,39 +34,62 @@ func Figure19(s *Session) ([]Fig19Row, error) {
 	}
 	fmt.Fprintln(w)
 
-	var rows []Fig19Row
-	for _, model := range s.opt.modelSet() {
+	// Every (model, error level) cell is an independent perturbed-plan run
+	// (uncached — the execution trace differs from the plan's), so fan them
+	// across the worker pool and print from the collected grid.
+	mset := s.opt.modelSet()
+	for _, model := range mset {
+		// Fail fast on an unknown model before fanning out the (expensive,
+		// uncached) grid.
+		if _, err := models.ByName(model); err != nil {
+			return nil, err
+		}
+	}
+	type cell struct {
+		res gpu.Result
+		err error
+	}
+	grid := make([]cell, len(mset)*len(errs))
+	runCell := func(model string, e float64) (gpu.Result, error) {
 		spec, err := models.ByName(model)
 		if err != nil {
-			return nil, err
+			return gpu.Result{}, err
 		}
 		batch := s.batchFor(spec)
 		aTrue, err := s.Analysis(model, batch)
 		if err != nil {
-			return nil, err
+			return gpu.Result{}, err
 		}
-		cfg := s.baseConfig(aTrue)
+		planAnalysis := aTrue
+		if e > 0 {
+			perturbed := aTrue.Trace.Perturb(e, 12345)
+			planAnalysis, err = vitality.Analyze(aTrue.Graph, perturbed)
+			if err != nil {
+				return gpu.Result{}, err
+			}
+		}
+		return gpu.Run(gpu.RunParams{
+			Analysis:  planAnalysis,
+			Policy:    policy.G10Full(planner.Config{}),
+			Config:    s.baseConfig(aTrue),
+			ExecTrace: aTrue.Trace,
+		})
+	}
+	parallelDo(len(grid), s.opt.workers(), func(i int) {
+		model, e := mset[i/len(errs)], errs[i%len(errs)]
+		grid[i].res, grid[i].err = runCell(model, e)
+	})
+
+	var rows []Fig19Row
+	for mi, model := range mset {
 		var base float64
 		fmt.Fprintf(w, "%-14s", model)
-		for _, e := range errs {
-			planAnalysis := aTrue
-			if e > 0 {
-				perturbed := aTrue.Trace.Perturb(e, 12345)
-				planAnalysis, err = vitality.Analyze(aTrue.Graph, perturbed)
-				if err != nil {
-					return nil, err
-				}
+		for ei, e := range errs {
+			c := grid[mi*len(errs)+ei]
+			if c.err != nil {
+				return nil, c.err
 			}
-			res, err := gpu.Run(gpu.RunParams{
-				Analysis:  planAnalysis,
-				Policy:    policy.G10Full(planner.Config{}),
-				Config:    cfg,
-				ExecTrace: aTrue.Trace,
-			})
-			if err != nil {
-				return nil, err
-			}
-			secs := res.IterationTime.Seconds()
+			secs := c.res.IterationTime.Seconds()
 			if e == 0 {
 				base = secs
 			}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"g10sim/internal/gpu"
 	"g10sim/internal/models"
@@ -59,6 +60,10 @@ type Options struct {
 	Models []string
 	// W receives the printed tables; nil discards them.
 	W io.Writer
+	// Workers bounds the simulation worker pool (0 = GOMAXPROCS, 1 =
+	// serial). Results are identical at any setting: runs are pure and the
+	// session cache is single-flight.
+	Workers int
 }
 
 func (o Options) writer() io.Writer {
@@ -80,19 +85,24 @@ var shortBatch = map[string]int{
 	"BERT": 16, "ViT": 32, "Inceptionv3": 32, "ResNet152": 32, "SENet154": 16,
 }
 
-// Session caches analyses and simulation results across figures.
+// Session caches analyses and simulation results across figures. It is
+// safe for concurrent use: figures fan their runs across a worker pool
+// (prewarm) and the caches single-flight each key, so every (model, batch,
+// policy, config) combination simulates exactly once and the results are
+// identical to serial execution.
 type Session struct {
 	opt      Options
-	analyses map[string]*vitality.Analysis
-	results  map[string]gpu.Result
+	mu       sync.Mutex
+	analyses map[string]*flight[*vitality.Analysis]
+	results  map[string]*flight[gpu.Result]
 }
 
 // NewSession builds a session.
 func NewSession(opt Options) *Session {
 	return &Session{
 		opt:      opt,
-		analyses: make(map[string]*vitality.Analysis),
-		results:  make(map[string]gpu.Result),
+		analyses: make(map[string]*flight[*vitality.Analysis]),
+		results:  make(map[string]*flight[gpu.Result]),
 	}
 }
 
@@ -109,21 +119,22 @@ func (s *Session) batchFor(spec models.Spec) int {
 // workload.
 func (s *Session) Analysis(model string, batch int) (*vitality.Analysis, error) {
 	key := fmt.Sprintf("%s/%d", model, batch)
-	if a, ok := s.analyses[key]; ok {
-		return a, nil
+	s.mu.Lock()
+	f, ok := s.analyses[key]
+	if !ok {
+		f = &flight[*vitality.Analysis]{}
+		s.analyses[key] = f
 	}
-	spec, err := models.ByName(model)
-	if err != nil {
-		return nil, err
-	}
-	g := spec.Build(batch)
-	tr := profile.Profile(g, profile.A100(spec.TimeScale))
-	a, err := vitality.Analyze(g, tr)
-	if err != nil {
-		return nil, err
-	}
-	s.analyses[key] = a
-	return a, nil
+	s.mu.Unlock()
+	return f.do(func() (*vitality.Analysis, error) {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		g := spec.Build(batch)
+		tr := profile.Profile(g, profile.A100(spec.TimeScale))
+		return vitality.Analyze(g, tr)
+	})
 }
 
 // baseConfig is the Table 2 system, scaled down against the workload's
@@ -149,30 +160,36 @@ func (s *Session) baseConfig(a *vitality.Analysis) gpu.Config {
 // a caller-supplied config tag ("" for the base configuration).
 func (s *Session) Run(model string, batch int, polName, cfgTag string, cfg gpu.Config, exec *profile.Trace) (gpu.Result, error) {
 	key := fmt.Sprintf("%s/%d/%s/%s", model, batch, polName, cfgTag)
-	if exec == nil {
-		if r, ok := s.results[key]; ok {
-			return r, nil
+	run := func() (gpu.Result, error) {
+		a, err := s.Analysis(model, batch)
+		if err != nil {
+			return gpu.Result{}, err
 		}
+		pol, err := NewPolicy(polName)
+		if err != nil {
+			return gpu.Result{}, err
+		}
+		if polName == "Ideal" {
+			cfg = policy.IdealConfig(cfg)
+		}
+		res, err := gpu.Run(gpu.RunParams{Analysis: a, Policy: pol, Config: cfg, ExecTrace: exec})
+		if err != nil {
+			return gpu.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
+		}
+		return res, nil
 	}
-	a, err := s.Analysis(model, batch)
-	if err != nil {
-		return gpu.Result{}, err
+	if exec != nil {
+		// Perturbed-trace runs (Fig. 19) bypass the cache.
+		return run()
 	}
-	pol, err := NewPolicy(polName)
-	if err != nil {
-		return gpu.Result{}, err
+	s.mu.Lock()
+	f, ok := s.results[key]
+	if !ok {
+		f = &flight[gpu.Result]{}
+		s.results[key] = f
 	}
-	if polName == "Ideal" {
-		cfg = policy.IdealConfig(cfg)
-	}
-	res, err := gpu.Run(gpu.RunParams{Analysis: a, Policy: pol, Config: cfg, ExecTrace: exec})
-	if err != nil {
-		return gpu.Result{}, fmt.Errorf("experiments: %s: %w", key, err)
-	}
-	if exec == nil {
-		s.results[key] = res
-	}
-	return res, nil
+	s.mu.Unlock()
+	return f.do(run)
 }
 
 // RunBase runs with the session's default (Table 2 or short-scaled) config.

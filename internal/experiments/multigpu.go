@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"g10sim/internal/gpu"
 	"g10sim/internal/models"
 	"g10sim/internal/units"
+	"g10sim/internal/vitality"
 )
 
 // MultiGPURow is one cell of the §6 multi-GPU study.
@@ -33,6 +35,38 @@ func MultiGPU(s *Session) ([]MultiGPURow, error) {
 		gpuCounts = []int{1, 4}
 		ssdCounts = []int{1, 4}
 	}
+	shareCfg := func(a *vitality.Analysis, gpus, ssds int) gpu.Config {
+		cfg := s.baseConfig(a)
+		// Each GPU sees its share of the array's bandwidth and capacity,
+		// and of the host memory.
+		share := float64(ssds) / float64(gpus)
+		ssdCfg := cfg.SSD
+		ssdCfg.ReadBandwidth = units.Bandwidth(float64(ssdCfg.ReadBandwidth) * share)
+		ssdCfg.WriteBandwidth = units.Bandwidth(float64(ssdCfg.WriteBandwidth) * share)
+		ssdCfg.Capacity = units.Bytes(float64(ssdCfg.Capacity) * share)
+		cfg.SSD = ssdCfg
+		cfg.HostCapacity = units.Bytes(float64(cfg.HostCapacity) / float64(gpus))
+		return cfg
+	}
+	var jobs []func()
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batch := s.batchFor(spec)
+		for _, gpus := range gpuCounts {
+			for _, ssds := range ssdCounts {
+				model, batch, gpus, ssds := model, batch, gpus, ssds
+				jobs = append(jobs, func() {
+					if a, err := s.Analysis(model, batch); err == nil {
+						_, _ = s.Run(model, batch, "G10", fmt.Sprintf("mg=%dx%d", gpus, ssds), shareCfg(a, gpus, ssds), nil)
+					}
+				})
+			}
+		}
+	}
+	s.prewarm(jobs)
 	var rows []MultiGPURow
 	for _, model := range s.opt.modelSet() {
 		spec, err := models.ByName(model)
@@ -48,18 +82,8 @@ func MultiGPU(s *Session) ([]MultiGPURow, error) {
 		for _, gpus := range gpuCounts {
 			fmt.Fprintf(w, "%4d", gpus)
 			for _, ssds := range ssdCounts {
-				cfg := s.baseConfig(a)
-				// Each GPU sees its share of the array's bandwidth and
-				// capacity, and of the host memory.
-				share := float64(ssds) / float64(gpus)
-				ssdCfg := cfg.SSD
-				ssdCfg.ReadBandwidth = units.Bandwidth(float64(ssdCfg.ReadBandwidth) * share)
-				ssdCfg.WriteBandwidth = units.Bandwidth(float64(ssdCfg.WriteBandwidth) * share)
-				ssdCfg.Capacity = units.Bytes(float64(ssdCfg.Capacity) * share)
-				cfg.SSD = ssdCfg
-				cfg.HostCapacity = units.Bytes(float64(cfg.HostCapacity) / float64(gpus))
 				tag := fmt.Sprintf("mg=%dx%d", gpus, ssds)
-				res, err := s.Run(model, batch, "G10", tag, cfg, nil)
+				res, err := s.Run(model, batch, "G10", tag, shareCfg(a, gpus, ssds), nil)
 				if err != nil {
 					return nil, err
 				}

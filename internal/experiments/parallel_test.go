@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestParallelSessionMatchesSerial asserts the worker-pool engine is
+// deterministic: a session fanning runs across many workers produces
+// byte-identical tables and deeply equal rows to a fully serial session.
+func TestParallelSessionMatchesSerial(t *testing.T) {
+	models := []string{"BERT", "ResNet152"}
+	run := func(workers int) (string, []PerfRow, []SweepRow, []Fig19Row) {
+		var buf bytes.Buffer
+		s := NewSession(Options{Short: true, Models: models, W: &buf, Workers: workers})
+		rows11, err := Figure11(s)
+		if err != nil {
+			t.Fatalf("workers=%d: Figure11: %v", workers, err)
+		}
+		rows15, err := Figure15(s)
+		if err != nil {
+			t.Fatalf("workers=%d: Figure15: %v", workers, err)
+		}
+		rows19, err := Figure19(s)
+		if err != nil {
+			t.Fatalf("workers=%d: Figure19: %v", workers, err)
+		}
+		return buf.String(), rows11, rows15, rows19
+	}
+
+	serialOut, s11, s15, s19 := run(1)
+	parallelOut, p11, p15, p19 := run(8)
+
+	if serialOut != parallelOut {
+		t.Errorf("printed tables differ between serial and parallel sessions")
+	}
+	if !reflect.DeepEqual(s11, p11) {
+		t.Errorf("Figure11 rows differ between serial and parallel sessions")
+	}
+	if !reflect.DeepEqual(s15, p15) {
+		t.Errorf("Figure15 rows differ between serial and parallel sessions")
+	}
+	if !reflect.DeepEqual(s19, p19) {
+		t.Errorf("Figure19 rows differ between serial and parallel sessions")
+	}
+}
+
+// TestSessionSingleFlight asserts concurrent identical requests collapse to
+// one simulation: both calls must observe the very same cached value.
+func TestSessionSingleFlight(t *testing.T) {
+	s := NewSession(Options{Short: true, Models: []string{"BERT"}, Workers: 4})
+	type out struct {
+		res interface{}
+		err error
+	}
+	results := make([]out, 8)
+	parallelDo(len(results), 4, func(i int) {
+		r, err := s.RunBase("BERT", "G10")
+		results[i] = out{res: r, err: err}
+	})
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("call %d: %v", i, r.err)
+		}
+		if !reflect.DeepEqual(r.res, results[0].res) {
+			t.Errorf("call %d diverged from call 0", i)
+		}
+	}
+}

@@ -16,8 +16,18 @@ type PerfRow struct {
 }
 
 // runMatrix simulates every model × policy combination of the end-to-end
-// evaluation, reusing the session cache.
+// evaluation, fanning the runs across the worker pool and reusing the
+// session cache. Row order (and every Result) is identical to a serial
+// sweep.
 func (s *Session) runMatrix(policies []string) ([]PerfRow, error) {
+	var jobs []func()
+	for _, model := range s.opt.modelSet() {
+		for _, pol := range policies {
+			model, pol := model, pol
+			jobs = append(jobs, func() { _, _ = s.RunBase(model, pol) })
+		}
+	}
+	s.prewarm(jobs)
 	var rows []PerfRow
 	for _, model := range s.opt.modelSet() {
 		for _, pol := range policies {

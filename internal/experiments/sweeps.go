@@ -6,6 +6,7 @@ import (
 	"g10sim/internal/gpu"
 	"g10sim/internal/models"
 	"g10sim/internal/units"
+	"g10sim/internal/vitality"
 )
 
 // SweepRow is one point of a parameter sweep.
@@ -33,6 +34,24 @@ func Figure15(s *Session) ([]SweepRow, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== Figure 15: training throughput vs batch size (examples/sec) ===")
 	policies := []string{"Base UVM", "FlashNeuron", "DeepUM+", "G10", "Ideal"}
+	var jobs []func()
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		for _, batch := range s.batchSweep(spec) {
+			for _, p := range policies {
+				model, batch, p := model, batch, p
+				jobs = append(jobs, func() {
+					if a, err := s.Analysis(model, batch); err == nil {
+						_, _ = s.Run(model, batch, p, "", s.baseConfig(a), nil)
+					}
+				})
+			}
+		}
+	}
+	s.prewarm(jobs)
 	var rows []SweepRow
 	for _, model := range s.opt.modelSet() {
 		spec, err := models.ByName(model)
@@ -83,6 +102,54 @@ func (s *Session) hostSweep(a interface{ PeakAlive() units.Bytes }) []units.Byte
 func Figure16(s *Session) ([]SweepRow, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== Figure 16: G10 execution time (s) vs host memory capacity ===")
+	// Stage 1: build the analyses across the pool (the host sweep below
+	// needs each model's largest-batch analysis before its run jobs can be
+	// enumerated).
+	var aJobs []func()
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batches := s.batchSweep(spec)
+		if len(batches) > 4 {
+			batches = batches[len(batches)-4:]
+		}
+		for _, batch := range batches {
+			model, batch := model, batch
+			aJobs = append(aJobs, func() { _, _ = s.Analysis(model, batch) })
+		}
+	}
+	s.prewarm(aJobs)
+	// Stage 2: fan out the simulations.
+	var jobs []func()
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batches := s.batchSweep(spec)
+		if len(batches) > 4 {
+			batches = batches[len(batches)-4:]
+		}
+		aRef, err := s.Analysis(model, batches[len(batches)-1])
+		if err != nil {
+			return nil, err
+		}
+		for _, host := range s.hostSweep(aRef) {
+			for _, batch := range batches {
+				host, batch, model := host, batch, model
+				jobs = append(jobs, func() {
+					if a, err := s.Analysis(model, batch); err == nil {
+						cfg := s.baseConfig(a)
+						cfg.HostCapacity = host
+						_, _ = s.Run(model, batch, "G10", fmt.Sprintf("host=%d", host), cfg, nil)
+					}
+				})
+			}
+		}
+	}
+	s.prewarm(jobs)
 	var rows []SweepRow
 	for _, model := range s.opt.modelSet() {
 		spec, err := models.ByName(model)
@@ -136,6 +203,43 @@ func Figure17(s *Session) ([]SweepRow, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== Figure 17: execution time (s) vs host memory, by policy ===")
 	policies := []string{"DeepUM+", "FlashNeuron", "G10"}
+	// Stage 1: build both workloads' analyses across the pool (the host
+	// sweep depends on them).
+	var aJobs []func()
+	for _, wl := range fig17Workloads {
+		batch := wl.Batch
+		if s.opt.Short {
+			batch = shortBatch[wl.Model]
+		}
+		model, batch := wl.Model, batch
+		aJobs = append(aJobs, func() { _, _ = s.Analysis(model, batch) })
+	}
+	s.prewarm(aJobs)
+	// Stage 2: fan out the simulations.
+	var jobs []func()
+	for _, wl := range fig17Workloads {
+		batch := wl.Batch
+		if s.opt.Short {
+			batch = shortBatch[wl.Model]
+		}
+		a, err := s.Analysis(wl.Model, batch)
+		if err != nil {
+			return nil, err
+		}
+		for _, host := range s.hostSweep(a) {
+			for _, p := range policies {
+				model, host, p, batch := wl.Model, host, p, batch
+				jobs = append(jobs, func() {
+					if a, err := s.Analysis(model, batch); err == nil {
+						cfg := s.baseConfig(a)
+						cfg.HostCapacity = host
+						_, _ = s.Run(model, batch, p, fmt.Sprintf("host=%d", host), cfg, nil)
+					}
+				})
+			}
+		}
+	}
+	s.prewarm(jobs)
 	var rows []SweepRow
 	for _, wl := range fig17Workloads {
 		batch := wl.Batch
@@ -184,16 +288,48 @@ func Figure18(s *Session) ([]SweepRow, error) {
 	if s.opt.Short {
 		bandwidths = []float64{6.4, 32.0}
 	}
+	fig18Batch := func(spec models.Spec) int {
+		batch := s.batchFor(spec)
+		if !s.opt.Short && spec.Name == "BERT" {
+			return 512 // the paper uses BERT-512 in this sweep
+		}
+		return batch
+	}
+	fig18Cfg := func(a *vitality.Analysis, bw float64) gpu.Config {
+		cfg := s.baseConfig(a)
+		cfg.PCIeBandwidth = units.GBps(32)
+		ssdCfg := cfg.SSD
+		ssdCfg.ReadBandwidth = units.GBps(bw)
+		ssdCfg.WriteBandwidth = units.GBps(bw * 3.0 / 3.2)
+		cfg.SSD = ssdCfg
+		return cfg
+	}
+	var jobs []func()
+	for _, model := range s.opt.modelSet() {
+		spec, err := models.ByName(model)
+		if err != nil {
+			return nil, err
+		}
+		batch := fig18Batch(spec)
+		for _, bw := range bandwidths {
+			for _, p := range policies {
+				model, bw, p, batch := model, bw, p, batch
+				jobs = append(jobs, func() {
+					if a, err := s.Analysis(model, batch); err == nil {
+						_, _ = s.Run(model, batch, p, fmt.Sprintf("ssd=%.1f", bw), fig18Cfg(a, bw), nil)
+					}
+				})
+			}
+		}
+	}
+	s.prewarm(jobs)
 	var rows []SweepRow
 	for _, model := range s.opt.modelSet() {
 		spec, err := models.ByName(model)
 		if err != nil {
 			return nil, err
 		}
-		batch := s.batchFor(spec)
-		if !s.opt.Short && model == "BERT" {
-			batch = 512 // the paper uses BERT-512 in this sweep
-		}
+		batch := fig18Batch(spec)
 		a, err := s.Analysis(model, batch)
 		if err != nil {
 			return nil, err
@@ -204,12 +340,7 @@ func Figure18(s *Session) ([]SweepRow, error) {
 		}
 		fmt.Fprintln(w)
 		for _, bw := range bandwidths {
-			cfg := s.baseConfig(a)
-			cfg.PCIeBandwidth = units.GBps(32)
-			ssdCfg := cfg.SSD
-			ssdCfg.ReadBandwidth = units.GBps(bw)
-			ssdCfg.WriteBandwidth = units.GBps(bw * 3.0 / 3.2)
-			cfg.SSD = ssdCfg
+			cfg := fig18Cfg(a, bw)
 			tag := fmt.Sprintf("ssd=%.1f", bw)
 			fmt.Fprintf(w, "%-8.1f", bw)
 			for _, p := range policies {

@@ -80,6 +80,85 @@ type Network struct {
 	res      []*Resource
 	active   []*Flow
 	dormant  dormantHeap
+	// comp indexes the active flows by (absolute) completion time so
+	// NextEvent is a heap peek instead of a scan over every active flow.
+	// It is rebuilt whenever rates change (recompute); between recomputes a
+	// flow's absolute completion time is invariant, up to float rounding,
+	// which minCompletion absorbs by re-evaluating near-minimal candidates.
+	comp        compHeap
+	compScratch []compEntry
+	// doneBuf accumulates one AdvanceTo call's completions; reused.
+	doneBuf []*Flow
+}
+
+// compEntry is one active flow keyed by a completion time computed at some
+// earlier clock value.
+type compEntry struct {
+	f  *Flow
+	at units.Time
+}
+
+// compHeap is a hand-rolled min-heap of completion entries (ordered by
+// (at, flow ID)); avoiding the container/heap interface keeps the per-event
+// cost down.
+type compHeap []compEntry
+
+func compLess(a, b compEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.f.ID < b.f.ID
+}
+
+func (h compHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && compLess(h[r], h[l]) {
+			least = r
+		}
+		if !compLess(h[least], h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+func (h compHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !compLess(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h compHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *compHeap) push(e compEntry) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *compHeap) pop() compEntry {
+	old := *h
+	e := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	(*h).siftDown(0)
+	return e
 }
 
 // New returns an empty network at time zero.
@@ -105,8 +184,12 @@ func (n *Network) AddResource(name string, cap units.Bandwidth) *Resource {
 func (n *Network) Resource(name string) *Resource { return n.resIndex[name] }
 
 // SetCapacity changes a resource's bandwidth effective now. Rates of all
-// flows are re-derived immediately.
+// flows are re-derived immediately. Setting the current capacity again is a
+// no-op: the existing allocation is reused unchanged.
 func (n *Network) SetCapacity(r *Resource, cap units.Bandwidth) {
+	if r.capacity == float64(cap) {
+		return
+	}
 	r.capacity = float64(cap)
 	n.recompute()
 }
@@ -162,10 +245,57 @@ func (n *Network) NextEvent() units.Time {
 	if len(n.dormant) > 0 {
 		next = units.MinTime(next, n.dormant[0].StartAt)
 	}
-	for _, f := range n.active {
-		next = units.MinTime(next, n.completionTime(f))
+	return units.MinTime(next, n.minCompletion())
+}
+
+// completionSlack bounds how far a stored completion time can drift from
+// the same flow's completion time re-evaluated at a later clock value. The
+// two differ only by float64 rounding around the ceil boundary (at most
+// ±1ns for any sane horizon) plus one more for the ceil itself.
+const completionSlack = 4
+
+// minCompletion returns min over active flows of completionTime evaluated
+// now — exactly the value a linear scan would produce. The heap keys are
+// completion times stored at an earlier clock value; they are within
+// completionSlack of the current value, so the true minimum is found by
+// re-evaluating every candidate whose stored key is within the slack of the
+// best current value seen so far.
+func (n *Network) minCompletion() units.Time {
+	if len(n.comp) == 0 {
+		// Below the heap threshold (or idle): scan directly.
+		best := units.Forever
+		for _, f := range n.active {
+			best = units.MinTime(best, n.completionTime(f))
+		}
+		return best
 	}
-	return next
+	if n.comp[0].at == units.Forever {
+		// All keys at or past the heap minimum are Forever; rates have not
+		// changed since they were stored, so every flow is still stalled.
+		return units.Forever
+	}
+	best := units.Forever
+	scratch := n.compScratch[:0]
+	for len(n.comp) > 0 {
+		threshold := units.Forever
+		if best < units.Forever-completionSlack {
+			threshold = best + completionSlack
+		}
+		if n.comp[0].at > threshold {
+			break
+		}
+		e := n.comp.pop()
+		e.at = n.completionTime(e.f)
+		scratch = append(scratch, e)
+		if e.at < best {
+			best = e.at
+		}
+	}
+	for _, e := range scratch {
+		n.comp.push(e)
+	}
+	n.compScratch = scratch[:0]
+	return best
 }
 
 // Idle reports whether no flows are active or pending.
@@ -189,39 +319,40 @@ func (n *Network) completionTime(f *Flow) units.Time {
 // AdvanceTo moves the clock to t, processing flow activations and
 // completions in chronological order, and returns the flows that completed
 // in (previous now, t], ordered by completion time. t must be >= Now().
+// The returned slice is reused by the next AdvanceTo call.
 func (n *Network) AdvanceTo(t units.Time) []*Flow {
 	if t < n.now {
 		panic(fmt.Sprintf("flownet: AdvanceTo(%v) before now=%v", t, n.now))
 	}
-	var completed []*Flow
+	n.doneBuf = n.doneBuf[:0]
 	for {
 		e := n.NextEvent()
 		if e > t {
 			break
 		}
-		completed = append(completed, n.step(e)...)
+		n.step(e)
 	}
 	n.progress(t)
-	completed = append(completed, n.reap()...)
-	return completed
+	n.reap()
+	return n.doneBuf
 }
 
 // step advances exactly to internal event time e, handling activations and
-// completions there.
-func (n *Network) step(e units.Time) []*Flow {
+// completions there. reap already re-derives rates when flows finish, so a
+// second recompute is only needed if dormant flows activated afterwards.
+func (n *Network) step(e units.Time) {
 	n.progress(e)
-	completed := n.reap()
-	changed := len(completed) > 0
+	n.reap()
+	activated := false
 	for len(n.dormant) > 0 && n.dormant[0].StartAt <= n.now {
 		f := heap.Pop(&n.dormant).(*Flow)
 		f.active = true
 		n.active = append(n.active, f)
-		changed = true
+		activated = true
 	}
-	if changed {
+	if activated {
 		n.recompute()
 	}
-	return completed
 }
 
 // progress transfers bytes on every active flow for the interval [now, to].
@@ -247,9 +378,10 @@ func (n *Network) progress(to units.Time) {
 }
 
 // reap removes finished flows from the active set (remaining below half a
-// byte counts as finished, absorbing float error) and returns them.
-func (n *Network) reap() []*Flow {
-	var done []*Flow
+// byte counts as finished, absorbing float error), appending them to
+// doneBuf ordered by flow ID within the batch.
+func (n *Network) reap() {
+	start := len(n.doneBuf)
 	kept := n.active[:0]
 	for _, f := range n.active {
 		if f.remaining < 0.5 {
@@ -257,17 +389,16 @@ func (n *Network) reap() []*Flow {
 			f.done = true
 			f.active = false
 			f.CompletedAt = n.now
-			done = append(done, f)
+			n.doneBuf = append(n.doneBuf, f)
 		} else {
 			kept = append(kept, f)
 		}
 	}
 	n.active = kept
-	if len(done) > 0 {
+	if done := n.doneBuf[start:]; len(done) > 0 {
 		n.recompute()
 		sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
 	}
-	return done
 }
 
 // recompute derives max-min fair rates for all active flows by progressive
@@ -325,7 +456,21 @@ func (n *Network) recompute() {
 			}
 		}
 	}
+	// Rates changed: re-key the completion index. Absolute completion times
+	// stay valid until the next recompute. Tiny active sets skip the heap
+	// entirely — a direct scan is cheaper than maintaining it.
+	n.comp = n.comp[:0]
+	if len(n.active) > compHeapThreshold {
+		for _, f := range n.active {
+			n.comp = append(n.comp, compEntry{f: f, at: n.completionTime(f)})
+		}
+		n.comp.init()
+	}
 }
+
+// compHeapThreshold is the active-flow count above which NextEvent switches
+// from a direct scan to the completion-time heap.
+const compHeapThreshold = 12
 
 func flowUses(f *Flow, r *Resource) bool {
 	for _, rr := range f.route {
@@ -361,5 +506,6 @@ func (h *dormantHeap) Pop() any {
 	f := old[len(old)-1]
 	old[len(old)-1] = nil
 	*h = old[:len(old)-1]
+	f.heapIdx = -1 // no longer in the heap
 	return f
 }

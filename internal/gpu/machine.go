@@ -51,6 +51,12 @@ type tensorState struct {
 	flash   ssd.LogicalRange
 	hasRng  bool
 	lastUse units.Time
+	// inLRU marks membership in the machine's resident-LRU index; lruPrev/
+	// lruNext are its links (tensor ids, -1 at the ends). The index key is
+	// (lastUse, id), so lastUse must only change while the tensor is
+	// untracked.
+	inLRU            bool
+	lruPrev, lruNext int
 }
 
 // Machine is the simulated GPU/host/SSD system.
@@ -74,6 +80,19 @@ type Machine struct {
 	gpuUsed  units.Bytes
 	hostUsed units.Bytes
 	ledger   traffic
+
+	// Derived indexes, maintained incrementally at every state transition
+	// (track/untrack) instead of recomputed by O(tensors) scans:
+	//   pendFetchBytes   — sum of sizes with a queued (not yet flying) fetch
+	//   evictPendBytes   — sum of sizes with a pending eviction
+	//   lruHead/lruTail  — doubly-linked list (by tensor id) of GPU-resident
+	//                      tensors with no pending migration, ordered by
+	//                      (lastUse, id), least recent first
+	pendFetchBytes units.Bytes
+	evictPendBytes units.Bytes
+	lruHead        int
+	lruTail        int
+	lruLen         int
 
 	// Counters (cumulative; the runner snapshots around the measured
 	// iteration).
@@ -105,6 +124,10 @@ type migration struct {
 	inflate float64
 	// latency still to charge before the next chunk (first chunk only).
 	latency units.Duration
+	// label names this migration's flows and route the resources they
+	// traverse; both computed once rather than per chunk.
+	label string
+	route []*flownet.Resource
 }
 
 // NewMachine builds the system around an analysis (graph + trace).
@@ -132,10 +155,11 @@ func NewMachine(a *vitality.Analysis, pol Policy, cfg Config) (*Machine, error) 
 	m.hostBusIn = m.net.AddResource("hostmem-in", cfg.HostDRAMBandwidth)
 	m.hostBus = m.net.AddResource("hostmem-out", cfg.HostDRAMBandwidth)
 
+	m.lruHead, m.lruTail = -1, -1
 	m.states = make([]tensorState, len(m.g.Tensors))
 	var va uint64 = 1 << 21 // leave page zero unmapped
 	for id, t := range m.g.Tensors {
-		m.states[id] = tensorState{t: t, loc: uvm.Unmapped, va: va}
+		m.states[id] = tensorState{t: t, loc: uvm.Unmapped, va: va, lruPrev: -1, lruNext: -1}
 		va += uint64(m.pagesOf(t)) * uint64(cfg.TranslationGranularity)
 	}
 	pol.Attach(m)
@@ -144,6 +168,99 @@ func NewMachine(a *vitality.Analysis, pol Policy, cfg Config) (*Machine, error) 
 
 func (m *Machine) pagesOf(t *dnn.Tensor) int64 {
 	return units.PagesFor(t.Size, m.cfg.TranslationGranularity)
+}
+
+// ---- Derived-index maintenance ----
+
+// untrack removes st's contributions from the derived indexes. Every
+// mutation of st.loc, st.pend, st.fly, or st.lastUse must be bracketed by
+// untrack/track (never nested).
+func (m *Machine) untrack(st *tensorState) {
+	if st.pend != nil {
+		if st.pend.Kind == uvm.PreEvict {
+			m.evictPendBytes -= st.t.Size
+		} else if st.fly == nil {
+			m.pendFetchBytes -= st.t.Size
+		}
+	}
+	if st.inLRU {
+		m.lruRemove(st)
+		st.inLRU = false
+	}
+}
+
+// track re-adds st's contributions after a mutation.
+func (m *Machine) track(st *tensorState) {
+	if st.pend != nil {
+		if st.pend.Kind == uvm.PreEvict {
+			m.evictPendBytes += st.t.Size
+		} else if st.fly == nil {
+			m.pendFetchBytes += st.t.Size
+		}
+	}
+	if st.loc == uvm.InGPU && st.pend == nil {
+		m.lruInsert(st)
+		st.inLRU = true
+	}
+}
+
+// lruBefore reports whether a sorts before b in the (lastUse, id) order.
+func (m *Machine) lruBefore(a, b *tensorState) bool {
+	if a.lastUse != b.lastUse {
+		return a.lastUse < b.lastUse
+	}
+	return a.t.ID < b.t.ID
+}
+
+// lruInsert links st into the recency list. The simulation clock is
+// monotone, so insertions land at (or within a few same-timestamp entries
+// of) the tail.
+func (m *Machine) lruInsert(st *tensorState) {
+	id := st.t.ID
+	after := m.lruTail // walk back to the first entry sorting before st
+	for after >= 0 && m.lruBefore(st, &m.states[after]) {
+		after = m.states[after].lruPrev
+	}
+	if after < 0 {
+		st.lruPrev, st.lruNext = -1, m.lruHead
+		if m.lruHead >= 0 {
+			m.states[m.lruHead].lruPrev = id
+		} else {
+			m.lruTail = id
+		}
+		m.lruHead = id
+	} else {
+		o := &m.states[after]
+		st.lruPrev, st.lruNext = after, o.lruNext
+		if o.lruNext >= 0 {
+			m.states[o.lruNext].lruPrev = id
+		} else {
+			m.lruTail = id
+		}
+		o.lruNext = id
+	}
+	m.lruLen++
+}
+
+func (m *Machine) lruRemove(st *tensorState) {
+	if st.lruPrev >= 0 {
+		m.states[st.lruPrev].lruNext = st.lruNext
+	} else {
+		m.lruHead = st.lruNext
+	}
+	if st.lruNext >= 0 {
+		m.states[st.lruNext].lruPrev = st.lruPrev
+	} else {
+		m.lruTail = st.lruPrev
+	}
+	m.lruLen--
+}
+
+// clearPend cancels st's queued request, keeping the indexes consistent.
+func (m *Machine) clearPend(st *tensorState) {
+	m.untrack(st)
+	st.pend = nil
+	m.track(st)
 }
 
 // ---- Introspection for policies ----
@@ -173,23 +290,14 @@ func (m *Machine) GPUFree() units.Bytes { return m.cfg.GPUCapacity - m.gpuUsed }
 func (m *Machine) HostFree() units.Bytes { return m.cfg.HostCapacity - m.hostUsed }
 
 // ResidentLRU lists GPU-resident tensors with no in-flight migration,
-// least recently used first.
+// least recently used first. The list is maintained incrementally as
+// tensors move; this returns a copy the caller may reorder freely.
 func (m *Machine) ResidentLRU() []int {
-	var ids []int
-	for id := range m.states {
-		st := &m.states[id]
-		if st.loc == uvm.InGPU && st.pend == nil {
-			ids = append(ids, id)
-		}
+	out := make([]int, 0, m.lruLen)
+	for id := m.lruHead; id >= 0; id = m.states[id].lruNext {
+		out = append(out, id)
 	}
-	// Insertion sort by lastUse (lists are short-lived; simplicity over
-	// asymptotics is fine at these sizes).
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && m.states[ids[j]].lastUse < m.states[ids[j-1]].lastUse; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	return ids
+	return out
 }
 
 // ---- Memory operations ----
@@ -205,8 +313,10 @@ func (m *Machine) alloc(id int) bool {
 		return false
 	}
 	m.gpuUsed += st.t.Size
+	m.untrack(st)
 	st.loc = uvm.InGPU
 	st.lastUse = m.Now()
+	m.track(st)
 	m.pt.MapRange(st.va, m.pagesOf(st.t), uvm.InGPU, st.va>>21)
 	return true
 }
@@ -221,7 +331,9 @@ func (m *Machine) seed(id int) error {
 	size := st.t.Size
 	if m.hostUsed+size <= m.cfg.HostCapacity {
 		m.hostUsed += size
+		m.untrack(st)
 		st.loc = uvm.InHost
+		m.track(st)
 		m.pt.MapRange(st.va, m.pagesOf(st.t), uvm.InHost, st.va>>21)
 		return nil
 	}
@@ -233,7 +345,9 @@ func (m *Machine) seed(id int) error {
 	if _, err := m.dev.Write(rng); err != nil {
 		return fmt.Errorf("gpu: seeding %s: %w", st.t.Name, err)
 	}
+	m.untrack(st)
 	st.loc = uvm.InFlash
+	m.track(st)
 	m.pt.MapRange(st.va, m.pagesOf(st.t), uvm.InFlash, uint64(rng.Start))
 	return nil
 }
@@ -246,11 +360,13 @@ func (m *Machine) free(id int) {
 		st.dying = true
 		return
 	}
-	st.pend = nil // cancel anything queued
+	m.clearPend(st) // cancel anything queued
 	m.release(st)
 }
 
 func (m *Machine) release(st *tensorState) {
+	m.untrack(st)
+	defer m.track(st)
 	if mig := st.mig; mig != nil {
 		// A tensor freed mid-migration: return whatever the chunks hold.
 		if mig.kind == uvm.PreEvict {
@@ -304,7 +420,9 @@ func (m *Machine) RequestEvict(id int, dst uvm.Location) bool {
 		return false
 	}
 	r := &uvm.Request{Kind: uvm.PreEvict, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: uvm.InGPU, Dst: dst}
+	m.untrack(st)
 	st.pend = r
+	m.track(st)
 	m.queues.Push(r)
 	m.dispatch()
 	return true
@@ -329,13 +447,13 @@ func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) boo
 	if st.pend != nil {
 		if st.pend.Kind == uvm.PreEvict && st.fly == nil {
 			// Still queued, not started: cancel the eviction instead.
-			st.pend = nil
+			m.clearPend(st)
 			return true
 		}
 		if kind == uvm.FaultFetch && st.pend.Kind == uvm.Prefetch && st.fly == nil && st.mig == nil {
 			// Upgrade a queued (not yet started) prefetch to fault
 			// priority: the kernel is now blocked on it.
-			st.pend = nil
+			m.clearPend(st)
 		} else {
 			return false
 		}
@@ -344,7 +462,9 @@ func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) boo
 		return false
 	}
 	r := &uvm.Request{Kind: kind, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: st.loc, Dst: uvm.InGPU, Scheduled: scheduled}
+	m.untrack(st)
 	st.pend = r
+	m.track(st)
 	m.queues.Push(r)
 	m.dispatch()
 	return true
@@ -397,6 +517,7 @@ func (m *Machine) startFlow(r *uvm.Request, st *tensorState) bool {
 func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, bool) {
 	size := st.t.Size
 	mig := &migration{id: r.TensorID, kind: r.Kind, src: r.Src, dst: r.Dst, size: size, inflate: 1, latency: m.cfg.DMALatency}
+	mig.label = r.Kind.String() + ":" + st.t.Name
 
 	switch r.Kind {
 	case uvm.PreEvict:
@@ -455,6 +576,7 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 	default:
 		return nil, false
 	}
+	mig.route = m.route(mig)
 	return mig, true
 }
 
@@ -497,7 +619,9 @@ func (m *Machine) startChunk(st *tensorState) bool {
 	flowBytes := units.Bytes(float64(chunk) * mig.inflate)
 	lat := mig.latency
 	mig.latency = 0 // only the first chunk pays setup latency
-	st.fly = m.net.StartAt(fmt.Sprintf("%s:%s", mig.kind, st.t.Name), flowBytes, m.Now()+lat, mig, m.route(mig)...)
+	m.untrack(st)
+	st.fly = m.net.StartAt(mig.label, flowBytes, m.Now()+lat, mig, mig.route...)
+	m.track(st)
 	return true
 }
 
@@ -521,7 +645,9 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 	if st.fly != f || st.mig != mig {
 		return // superseded (freed tensor)
 	}
+	m.untrack(st)
 	st.fly = nil
+	m.track(st)
 	mig.moved += mig.chunk
 	if mig.kind == uvm.PreEvict {
 		m.gpuUsed -= mig.chunk
@@ -554,6 +680,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 	}
 
 	// Final chunk: commit.
+	m.untrack(st)
 	st.mig = nil
 	st.pend = nil
 	pages := m.pagesOf(st.t)
@@ -563,6 +690,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 		if mig.dst == uvm.InFlash {
 			if _, err := m.dev.Write(st.flash); err != nil {
 				m.fail(fmt.Sprintf("ssd write: %v", err))
+				m.track(st)
 				return
 			}
 			// GC activity degrades sustained write bandwidth.
@@ -579,6 +707,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 		st.lastUse = m.Now()
 		m.pt.MapRange(st.va, pages, uvm.InGPU, st.va>>21)
 	}
+	m.track(st)
 	m.tlb.InvalidateRange(st.va, pages)
 	if st.dying {
 		m.release(st)
@@ -604,8 +733,10 @@ func (m *Machine) cancelStalledFetches(pinned map[int]bool) units.Bytes {
 		// kernel's own fetches (the policy re-issues it later).
 		m.gpuUsed -= mig.moved
 		freed += mig.moved
+		m.untrack(st)
 		st.mig = nil
 		st.pend = nil
+		m.track(st)
 	}
 	return freed
 }
@@ -632,7 +763,9 @@ func (m *Machine) waitNext() bool {
 // touch records a use for LRU ordering and models the translation lookup.
 func (m *Machine) touch(id int) {
 	st := &m.states[id]
+	m.untrack(st)
 	st.lastUse = m.Now()
+	m.track(st)
 	if _, hit := m.tlb.Lookup(st.va); !hit {
 		m.walkPenalty += m.cfg.PTWalkLatency
 		if pte, ok := m.pt.Translate(st.va); ok {

@@ -80,6 +80,9 @@ type runner struct {
 	overflowK0   int
 	kernelEnds   []units.Time
 	measuredIter bool
+
+	// pinned is the current kernel's working set, reused across kernels.
+	pinned map[int]bool
 }
 
 func (r *runner) run() (Result, error) {
@@ -187,7 +190,12 @@ func (r *runner) kernel(iter, k int, measured bool) error {
 func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, error) {
 	m := r.m
 	tensors := kern.Tensors()
-	pinned := make(map[int]bool, len(tensors))
+	if r.pinned == nil {
+		r.pinned = make(map[int]bool, len(tensors))
+	} else {
+		clear(r.pinned)
+	}
+	pinned := r.pinned
 	for _, t := range tensors {
 		pinned[t.ID] = true
 	}
@@ -200,7 +208,7 @@ func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, erro
 			switch {
 			case st.loc == uvm.InGPU && st.fly == nil:
 				if st.pend != nil && st.pend.Kind == uvm.PreEvict {
-					st.pend = nil // cancel a queued eviction of a needed tensor
+					m.clearPend(st) // cancel a queued eviction of a needed tensor
 				}
 			case st.loc == uvm.InGPU: // eviction in flight; must drain first
 				ready = false
@@ -221,8 +229,10 @@ func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, erro
 		}
 
 		// Ask the policy to free memory beyond what in-flight evictions
-		// will already release.
-		deficit := allocDeficit + r.pendingFetchBytes() - m.GPUFree() - r.inflightEvictBytes()
+		// will already release. The machine maintains the pending-fetch and
+		// in-flight-eviction byte totals incrementally, so this is O(1) per
+		// wait iteration instead of a scan over every tensor state.
+		deficit := allocDeficit + m.pendFetchBytes - m.GPUFree() - m.evictPendBytes
 		if deficit > 0 {
 			m.pol.MakeRoom(deficit, pinned)
 			m.dispatch()
@@ -244,28 +254,6 @@ func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, erro
 	}
 }
 
-func (r *runner) pendingFetchBytes() units.Bytes {
-	var b units.Bytes
-	for id := range r.m.states {
-		st := &r.m.states[id]
-		if st.pend != nil && st.pend.Kind != uvm.PreEvict && st.fly == nil {
-			b += st.t.Size
-		}
-	}
-	return b
-}
-
-func (r *runner) inflightEvictBytes() units.Bytes {
-	var b units.Bytes
-	for id := range r.m.states {
-		st := &r.m.states[id]
-		if st.pend != nil && st.pend.Kind == uvm.PreEvict {
-			b += st.t.Size
-		}
-	}
-	return b
-}
-
 // streamOverflow models a kernel whose working set exceeds GPU memory.
 // UVM-based systems execute it anyway, faulting pages through the PCIe
 // link at on-demand efficiency (inputs stream in, outputs stream out);
@@ -285,7 +273,7 @@ func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Du
 		if st.loc == uvm.InGPU {
 			continue
 		}
-		st.pend = nil // cancel whatever was queued; the stream covers it
+		m.clearPend(st) // cancel whatever was queued; the stream covers it
 		streamed = append(streamed, t)
 		streamBytes += t.Size
 	}
@@ -302,7 +290,9 @@ func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Du
 		}
 		if m.hostUsed+t.Size <= m.cfg.HostCapacity {
 			m.hostUsed += t.Size
+			m.untrack(st)
 			st.loc = uvm.InHost
+			m.track(st)
 			m.pt.MapRange(st.va, m.pagesOf(t), uvm.InHost, st.va>>21)
 			r.addTraffic(uvm.InHost, t.Size, false)
 		} else {
@@ -314,7 +304,9 @@ func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Du
 			if _, err := m.dev.Write(rng); err != nil {
 				return 0, fmt.Errorf("gpu: overflow spill: %w", err)
 			}
+			m.untrack(st)
 			st.loc = uvm.InFlash
+			m.track(st)
 			m.pt.MapRange(st.va, m.pagesOf(t), uvm.InFlash, uint64(rng.Start))
 			r.addTraffic(uvm.InFlash, t.Size, false)
 		}

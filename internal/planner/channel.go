@@ -18,6 +18,15 @@ type channel struct {
 	span   []float64    // slot lengths in seconds
 	bw     float64      // bytes/sec
 	total  units.Time
+	// scratch holds the pending draws of one schedule call; reused across
+	// calls to keep the (very frequent) previews allocation-free.
+	scratch []draw
+}
+
+// draw is one slot's share of a booking being placed.
+type draw struct {
+	slot int
+	amt  float64
 }
 
 func newChannel(name string, starts []units.Time, bw units.Bandwidth) *channel {
@@ -101,11 +110,8 @@ func (c *channel) scheduleForward(t units.Time, n units.Bytes, commit bool) (uni
 	if need == 0 {
 		return t, true
 	}
-	type draw struct {
-		slot int
-		amt  float64
-	}
-	var draws []draw
+	draws := c.scratch[:0]
+	defer func() { c.scratch = draws[:0] }()
 	nslots := c.slots()
 	k := c.slotOf(t)
 	pos := t
@@ -158,11 +164,8 @@ func (c *channel) scheduleBackward(deadline units.Time, n units.Bytes, commit bo
 	if need == 0 {
 		return deadline, true
 	}
-	type draw struct {
-		slot int
-		amt  float64
-	}
-	var draws []draw
+	draws := c.scratch[:0]
+	defer func() { c.scratch = draws[:0] }()
 	nslots := c.slots()
 	pos := deadline
 	if pos > c.total {

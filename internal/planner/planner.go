@@ -15,6 +15,7 @@ package planner
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"g10sim/internal/units"
@@ -120,6 +121,16 @@ type planner struct {
 	pressure []float64 // bytes per kernel slot
 	hostUsed []float64 // bytes per kernel slot
 
+	// Derived indexes over the eviction-phase state (see DESIGN.md §4):
+	// slotSec caches slot durations in seconds; excess marks slots whose
+	// pressure exceeds GPU capacity (the only slots that contribute to a
+	// candidate's benefit integral); presTree/hostTree maintain range
+	// maxima over pressure and hostUsed.
+	slotSec  []float64
+	excess   bitset
+	presTree *maxTree
+	hostTree *maxTree
+
 	ssdWrite, ssdRead   *channel
 	hostWrite, hostRead *channel
 
@@ -142,6 +153,19 @@ func New(a *vitality.Analysis, cfg Config) *Plan {
 	for k := 0; k < n; k++ {
 		pl.pressure[k] = float64(a.AliveBytes[k])
 	}
+	pl.slotSec = make([]float64, n)
+	for k := 0; k < n; k++ {
+		pl.slotSec[k] = (pl.starts[k+1] - pl.starts[k]).Seconds()
+	}
+	capBytes := float64(cfg.GPUCapacity)
+	pl.excess = newBitset(n)
+	for k := 0; k < n; k++ {
+		if pl.pressure[k]-capBytes > 0 {
+			pl.excess.set(k)
+		}
+	}
+	pl.presTree = newMaxTree(pl.pressure)
+	pl.hostTree = newMaxTree(pl.hostUsed)
 	pl.ssdWrite = newChannel("ssd-write", a.Starts, cfg.SSDWriteBW)
 	pl.ssdRead = newChannel("ssd-read", a.Starts, cfg.SSDReadBW)
 	pl.hostWrite = newChannel("host-write", a.Starts, cfg.HostWriteBW)
@@ -226,15 +250,11 @@ func (pl *planner) scheduleEvictions() {
 	}
 }
 
-// maxExcess reports the largest pressure overshoot in bytes.
+// maxExcess reports the largest pressure overshoot in bytes. Subtracting
+// the capacity is monotone under float64 rounding, so the maximum of
+// (pressure - cap) is the (maintained) maximum pressure minus cap.
 func (pl *planner) maxExcess(cap float64) float64 {
-	var worst float64
-	for _, p := range pl.pressure {
-		if e := p - cap; e > worst {
-			worst = e
-		}
-	}
-	return worst
+	return pl.presTree.rootMax() - cap
 }
 
 // evictCost is Algorithm 1's candidate cost: eviction plus prefetch latency
@@ -313,41 +333,49 @@ func (pl *planner) freeWindow(p *vitality.Period, target uvm.Location) (from, to
 }
 
 // excessArea integrates min(size, pressure-cap) over the full kernel slots
-// inside [from, to] — the eviction's benefit in byte·seconds.
+// inside [from, to] — the eviction's benefit in byte·seconds. Only slots in
+// the over-capacity bitset contribute, and they are visited in the same
+// order (ascending global slot) with the same per-slot arithmetic as a full
+// scan, so the float accumulation is identical.
 func (pl *planner) excessArea(from, to units.Time, size float64) float64 {
 	cap := float64(pl.cfg.GPUCapacity)
 	var area float64
-	pl.forEachFullSlot(from, to, func(k int) {
-		excess := pl.pressure[k] - cap
-		if excess <= 0 {
-			return
+	g0, gEnd := pl.fullSlotSpan(from, to)
+	n := int64(pl.n)
+	for gs := g0; gs < gEnd; {
+		kStart := int(gs % n)
+		span := int(n) - kStart
+		if rem := gEnd - gs; int64(span) > rem {
+			span = int(rem)
 		}
-		if excess > size {
-			excess = size
+		kLim := kStart + span
+		// Walk the over-capacity bitset word by word (ascending slot
+		// order, so the float accumulation matches a full scan exactly).
+		for w := kStart >> 6; w<<6 < kLim; w++ {
+			word := pl.excess[w]
+			if word == 0 {
+				continue
+			}
+			base := w << 6
+			if base < kStart {
+				word &= ^uint64(0) << (uint(kStart) & 63)
+			}
+			for word != 0 {
+				k := base + bits.TrailingZeros64(word)
+				if k >= kLim {
+					break
+				}
+				word &= word - 1
+				excess := pl.pressure[k] - cap
+				if excess > size {
+					excess = size
+				}
+				area += excess * pl.slotSec[k]
+			}
 		}
-		area += excess * (pl.starts[k+1] - pl.starts[k]).Seconds()
-	})
+		gs += int64(span)
+	}
 	return area
-}
-
-// forEachFullSlot visits every kernel slot fully contained in [from, to],
-// where to may exceed the iteration total (cyclic wrap onto early slots).
-func (pl *planner) forEachFullSlot(from, to units.Time, fn func(k int)) {
-	if to <= from {
-		return
-	}
-	n := pl.n
-	startOf := func(g int64) units.Time {
-		return pl.starts[int(g%int64(n))] + units.Time(g/int64(n))*pl.total
-	}
-	// First global slot starting at or after from.
-	lap := int64(from / pl.total)
-	rem := from - units.Time(lap)*pl.total
-	k := sort.Search(n, func(i int) bool { return pl.starts[i] >= rem })
-	g := lap*int64(n) + int64(k)
-	for ; startOf(g+1) <= to; g++ {
-		fn(int(g % int64(n)))
-	}
 }
 
 // commit applies Algorithm 1's lines 6–17 for the selected period: pick the
@@ -368,11 +396,36 @@ func (pl *planner) commit(p *vitality.Period) {
 		return
 	}
 
-	// Reduce pressure over the free window.
-	pl.forEachFullSlot(from, to, func(k int) { pl.pressure[k] -= float64(size) })
+	// Reduce pressure over the free window, keeping the over-capacity
+	// bitset and pressure max-tree in sync.
+	capBytes := float64(pl.cfg.GPUCapacity)
+	g0, gEnd := pl.fullSlotSpan(from, to)
+	n64 := int64(pl.n)
+	for gs := g0; gs < gEnd; {
+		kStart := int(gs % n64)
+		span := int(n64) - kStart
+		if rem := gEnd - gs; int64(span) > rem {
+			span = int(rem)
+		}
+		for k := kStart; k < kStart+span; k++ {
+			pl.pressure[k] -= float64(size)
+			if pl.pressure[k]-capBytes > 0 {
+				pl.excess.set(k)
+			} else {
+				pl.excess.clear(k)
+			}
+		}
+		pl.presTree.update(kStart, kStart+span)
+		gs += int64(span)
+	}
 	// Host occupancy covers the whole period.
 	if target == uvm.InHost {
-		pl.forEachTouchedSlot(p.Start, p.End, func(k int) { pl.hostUsed[k] += float64(size) })
+		pl.eachTouchedWindow(p.Start, p.End, func(k0, kEnd int) {
+			for k := k0; k < kEnd; k++ {
+				pl.hostUsed[k] += float64(size)
+			}
+			pl.hostTree.update(k0, kEnd)
+		})
 	}
 
 	pl.decisions = append(pl.decisions, Decision{
@@ -386,32 +439,32 @@ func (pl *planner) commit(p *vitality.Period) {
 }
 
 // hostFits checks host capacity across the period's slots (line 10).
+// Adding the tensor size is monotone under float64 rounding, so comparing
+// against the window's maintained occupancy maximum decides exactly as the
+// per-slot scan did.
 func (pl *planner) hostFits(p *vitality.Period, size units.Bytes) bool {
 	if !pl.cfg.UseHost || pl.cfg.HostCapacity <= 0 {
 		return false
 	}
 	fits := true
-	pl.forEachTouchedSlot(p.Start, p.End, func(k int) {
-		if pl.hostUsed[k]+float64(size) > float64(pl.cfg.HostCapacity) {
+	pl.eachTouchedWindow(p.Start, p.End, func(k0, kEnd int) {
+		if k0 < kEnd && pl.hostTree.queryMax(k0, kEnd)+float64(size) > float64(pl.cfg.HostCapacity) {
 			fits = false
 		}
 	})
 	return fits
 }
 
-// forEachTouchedSlot visits every slot overlapping [from, to] (cyclic).
-func (pl *planner) forEachTouchedSlot(from, to units.Time, fn func(k int)) {
+// eachTouchedWindow yields the local slot interval(s) overlapping
+// [from, to] (cyclic), in visit order.
+func (pl *planner) eachTouchedWindow(from, to units.Time, fn func(k0, kEnd int)) {
 	if to <= from {
 		return
 	}
-	n := pl.n
 	visit := func(a, b units.Time) {
-		if b <= a {
-			return
-		}
-		k0 := sort.Search(n, func(i int) bool { return pl.starts[i+1] > a })
-		for k := k0; k < n && pl.starts[k] < b; k++ {
-			fn(k)
+		k0, kEnd := pl.touchedSlotRange(a, b)
+		if k0 < kEnd {
+			fn(k0, kEnd)
 		}
 	}
 	if to > pl.total {

@@ -126,23 +126,106 @@ type Stats struct {
 	Erases         int64
 }
 
+// chunkBits sizes the lazily-materialised FTL array chunks (entries per
+// chunk).
+const chunkBits = 16
+
+// pagedI64 is a chunked int64 array: untouched chunks read as def and cost
+// nothing. Chunking avoids both the O(capacity) zero-fill of an eager array
+// and the copy churn of a growing one — the simulator touches a few percent
+// of a multi-TB device per run.
+type pagedI64 struct {
+	chunks [][]int64
+	def    int64
+}
+
+func newPagedI64(size int64, def int64) pagedI64 {
+	return pagedI64{chunks: make([][]int64, (size+(1<<chunkBits)-1)>>chunkBits), def: def}
+}
+
+func (p *pagedI64) at(i int64) int64 {
+	c := p.chunks[i>>chunkBits]
+	if c == nil {
+		return p.def
+	}
+	return c[i&(1<<chunkBits-1)]
+}
+
+func (p *pagedI64) set(i int64, v int64) {
+	ci := i >> chunkBits
+	c := p.chunks[ci]
+	if c == nil {
+		c = make([]int64, 1<<chunkBits)
+		if p.def != 0 {
+			for j := range c {
+				c[j] = p.def
+			}
+		}
+		p.chunks[ci] = c
+	}
+	c[i&(1<<chunkBits-1)] = v
+}
+
+// pagedU8 is the uint8 counterpart (untouched chunks read as zero).
+type pagedU8 struct {
+	chunks [][]uint8
+}
+
+func newPagedU8(size int64) pagedU8 {
+	return pagedU8{chunks: make([][]uint8, (size+(1<<chunkBits)-1)>>chunkBits)}
+}
+
+func (p *pagedU8) at(i int64) uint8 {
+	c := p.chunks[i>>chunkBits]
+	if c == nil {
+		return 0
+	}
+	return c[i&(1<<chunkBits-1)]
+}
+
+func (p *pagedU8) set(i int64, v uint8) {
+	ci := i >> chunkBits
+	c := p.chunks[ci]
+	if c == nil {
+		if v == 0 {
+			return // already the implicit default
+		}
+		c = make([]uint8, 1<<chunkBits)
+		p.chunks[ci] = c
+	}
+	c[i&(1<<chunkBits-1)] = v
+}
+
 // Device is one simulated SSD.
+//
+// The FTL arrays (logical→physical mapping, reverse mapping, page states)
+// are materialised lazily in chunks: the simulator builds one device per
+// run over a multi-TB logical space of which a workload touches a few
+// percent, so construction allocates O(chips) state and memory follows the
+// pages actually written. Untouched indices read as unmapped/free;
+// semantics are identical to fully-allocated arrays.
 type Device struct {
 	cfg Config
 
 	totalPhysPages int64
+	logicalPages   int64
 	blocks         int64 // total physical blocks
 	chips          int
 
-	mapping   []int64 // logical page -> physical page (or unmapped)
-	reverse   []int64 // physical page -> logical page (or unmapped)
-	pageState []uint8
+	mapping   pagedI64 // logical page -> physical page (or unmapped)
+	reverse   pagedI64 // physical page -> logical page (or unmapped)
+	pageState pagedU8
 
 	validInBlock []int32 // valid-page count per block
 	writePtr     []int64 // per chip: next physical page in its active block
 	activeBlock  []int64 // per chip: current log block (-1 = none)
-	freeBlocks   [][]int64
-	nextChip     int
+	// The per-chip free-block list is [remaining virgin blocks in block-
+	// number order] ++ [GC-recycled blocks FIFO]. Virgin blocks of chip c
+	// are the arithmetic sequence c, c+chips, c+2·chips, …, represented by
+	// the next unpopped element instead of a materialised slice.
+	virginNext []int64   // per chip: next never-used block, ≥ blocks when exhausted
+	recycled   [][]int64 // per chip: erased blocks, pop from the front
+	nextChip   int
 
 	allocCursor int64
 	freeList    []LogicalRange
@@ -175,31 +258,62 @@ func New(cfg Config) (*Device, error) {
 	d := &Device{
 		cfg:            cfg,
 		totalPhysPages: physPages,
+		logicalPages:   logicalPages,
 		blocks:         blocks,
 		chips:          chips,
-		mapping:        make([]int64, logicalPages),
-		reverse:        make([]int64, physPages),
-		pageState:      make([]uint8, physPages),
+		mapping:        newPagedI64(logicalPages, unmapped),
+		reverse:        newPagedI64(physPages, unmapped),
+		pageState:      newPagedU8(physPages),
 		validInBlock:   make([]int32, blocks),
 		writePtr:       make([]int64, chips),
 		activeBlock:    make([]int64, chips),
-		freeBlocks:     make([][]int64, chips),
-	}
-	for i := range d.mapping {
-		d.mapping[i] = unmapped
-	}
-	for i := range d.reverse {
-		d.reverse[i] = unmapped
-	}
-	// Distribute blocks round-robin across chips.
-	for b := int64(0); b < blocks; b++ {
-		chip := int(b % int64(chips))
-		d.freeBlocks[chip] = append(d.freeBlocks[chip], b)
+		virginNext:     make([]int64, chips),
+		recycled:       make([][]int64, chips),
 	}
 	for c := 0; c < chips; c++ {
 		d.activeBlock[c] = -1
+		d.virginNext[c] = int64(c)
 	}
 	return d, nil
+}
+
+// freeBlockCount reports how many free blocks chip has.
+func (d *Device) freeBlockCount(chip int) int64 {
+	var virgin int64
+	if d.virginNext[chip] < d.blocks {
+		virgin = (d.blocks-1-d.virginNext[chip])/int64(d.chips) + 1
+	}
+	return virgin + int64(len(d.recycled[chip]))
+}
+
+// popFreeBlock removes and returns the chip's next free block: remaining
+// virgin blocks first (in block order), then recycled blocks FIFO. Returns
+// -1 when none are free.
+func (d *Device) popFreeBlock(chip int) int64 {
+	if d.virginNext[chip] < d.blocks {
+		b := d.virginNext[chip]
+		d.virginNext[chip] += int64(d.chips)
+		return b
+	}
+	if rs := d.recycled[chip]; len(rs) > 0 {
+		b := rs[0]
+		d.recycled[chip] = rs[1:]
+		return b
+	}
+	return -1
+}
+
+// isFree reports whether block b (owned by chip) is on the free list.
+func (d *Device) isFree(chip int, b int64) bool {
+	if b >= d.virginNext[chip] {
+		return true // virgin, never popped
+	}
+	for _, fb := range d.recycled[chip] {
+		if fb == b {
+			return true
+		}
+	}
+	return false
 }
 
 // MustNew is New for known-good configs.
@@ -237,9 +351,9 @@ func (d *Device) Alloc(n int64) (LogicalRange, error) {
 			return out, nil
 		}
 	}
-	if d.allocCursor+n > int64(len(d.mapping)) {
+	if d.allocCursor+n > d.logicalPages {
 		return LogicalRange{}, fmt.Errorf("ssd: out of logical space (%d pages requested, %d free at tail)",
-			n, int64(len(d.mapping))-d.allocCursor)
+			n, d.logicalPages-d.allocCursor)
 	}
 	out := LogicalRange{Start: d.allocCursor, Count: n}
 	d.allocCursor += n
@@ -249,19 +363,19 @@ func (d *Device) Alloc(n int64) (LogicalRange, error) {
 // Free releases a logical range (TRIM): mapped pages are invalidated.
 func (d *Device) Free(r LogicalRange) {
 	for lp := r.Start; lp < r.Start+r.Count; lp++ {
-		if pp := d.mapping[lp]; pp != unmapped {
+		if pp := d.mapping.at(lp); pp != unmapped {
 			d.invalidate(pp)
-			d.mapping[lp] = unmapped
+			d.mapping.set(lp, unmapped)
 		}
 	}
 	d.freeList = append(d.freeList, r)
 }
 
 func (d *Device) invalidate(pp int64) {
-	if d.pageState[pp] == pageValid {
-		d.pageState[pp] = pageInvalid
+	if d.pageState.at(pp) == pageValid {
+		d.pageState.set(pp, pageInvalid)
 		d.validInBlock[pp/int64(d.cfg.PagesPerBlock)]--
-		d.reverse[pp] = unmapped
+		d.reverse.set(pp, unmapped)
 	}
 }
 
@@ -273,17 +387,17 @@ func (d *Device) invalidate(pp int64) {
 func (d *Device) Write(r LogicalRange) (gcRelocated int64, err error) {
 	before := d.stats.GCRelocated
 	for lp := r.Start; lp < r.Start+r.Count; lp++ {
-		if lp < 0 || lp >= int64(len(d.mapping)) {
+		if lp < 0 || lp >= d.logicalPages {
 			return 0, fmt.Errorf("ssd: write beyond logical space at page %d", lp)
 		}
-		if pp := d.mapping[lp]; pp != unmapped {
+		if pp := d.mapping.at(lp); pp != unmapped {
 			d.invalidate(pp)
 		}
 		pp, werr := d.program(lp)
 		if werr != nil {
 			return d.stats.GCRelocated - before, werr
 		}
-		d.mapping[lp] = pp
+		d.mapping.set(lp, pp)
 	}
 	d.stats.HostWriteBytes += r.bytes(d.cfg.PageSize)
 	d.stats.NANDWriteBytes += r.bytes(d.cfg.PageSize)
@@ -293,7 +407,7 @@ func (d *Device) Write(r LogicalRange) (gcRelocated int64, err error) {
 // Read verifies the range is mapped and accounts the traffic.
 func (d *Device) Read(r LogicalRange) error {
 	for lp := r.Start; lp < r.Start+r.Count; lp++ {
-		if lp < 0 || lp >= int64(len(d.mapping)) || d.mapping[lp] == unmapped {
+		if lp < 0 || lp >= d.logicalPages || d.mapping.at(lp) == unmapped {
 			return fmt.Errorf("ssd: read of unmapped logical page %d", lp)
 		}
 	}
@@ -310,8 +424,8 @@ func (d *Device) program(lp int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d.pageState[pp] = pageValid
-	d.reverse[pp] = lp
+	d.pageState.set(pp, pageValid)
+	d.reverse.set(pp, lp)
 	d.validInBlock[pp/int64(d.cfg.PagesPerBlock)]++
 	return pp, nil
 }
@@ -329,11 +443,10 @@ func (d *Device) appendOnChip(chip int) (int64, error) {
 			return 0, err
 		}
 	}
-	if len(d.freeBlocks[chip]) == 0 {
+	b := d.popFreeBlock(chip)
+	if b < 0 {
 		return 0, fmt.Errorf("ssd: chip %d out of blocks after GC", chip)
 	}
-	b := d.freeBlocks[chip][0]
-	d.freeBlocks[chip] = d.freeBlocks[chip][1:]
 	d.activeBlock[chip] = b
 	d.writePtr[chip] = b * ppb
 	pp := d.writePtr[chip]
@@ -343,7 +456,7 @@ func (d *Device) appendOnChip(chip int) (int64, error) {
 
 func (d *Device) lowOnBlocks(chip int) bool {
 	perChip := d.blocks / int64(d.chips)
-	return float64(len(d.freeBlocks[chip])) < d.cfg.GCThreshold*float64(perChip)+1
+	return float64(d.freeBlockCount(chip)) < d.cfg.GCThreshold*float64(perChip)+1
 }
 
 // collect performs greedy GC on one chip: pick the sealed block with the
@@ -371,31 +484,31 @@ func (d *Device) collect(chip int) error {
 		}
 		// Relocate valid pages into the chip's active block stream.
 		for pp := victim * ppb; pp < (victim+1)*ppb; pp++ {
-			if d.pageState[pp] != pageValid {
+			if d.pageState.at(pp) != pageValid {
 				continue
 			}
-			lp := d.reverse[pp]
-			d.pageState[pp] = pageInvalid
+			lp := d.reverse.at(pp)
+			d.pageState.set(pp, pageInvalid)
 			d.validInBlock[victim]--
-			d.reverse[pp] = unmapped
+			d.reverse.set(pp, unmapped)
 
 			np, err := d.appendOnChipForGC(chip, victim)
 			if err != nil {
 				return err
 			}
-			d.pageState[np] = pageValid
-			d.reverse[np] = lp
+			d.pageState.set(np, pageValid)
+			d.reverse.set(np, lp)
 			d.validInBlock[np/ppb]++
-			d.mapping[lp] = np
+			d.mapping.set(lp, np)
 			d.stats.GCRelocated++
 			d.stats.NANDWriteBytes += d.cfg.PageSize
 		}
-		// Erase the victim.
+		// Erase the victim (untouched pages are already free).
 		for pp := victim * ppb; pp < (victim+1)*ppb; pp++ {
-			d.pageState[pp] = pageFree
+			d.pageState.set(pp, pageFree)
 		}
 		d.stats.Erases++
-		d.freeBlocks[chip] = append(d.freeBlocks[chip], victim)
+		d.recycled[chip] = append(d.recycled[chip], victim)
 	}
 	return nil
 }
@@ -409,25 +522,15 @@ func (d *Device) appendOnChipForGC(chip int, victim int64) (int64, error) {
 		d.writePtr[chip]++
 		return pp, nil
 	}
-	if len(d.freeBlocks[chip]) == 0 {
+	b := d.popFreeBlock(chip)
+	if b < 0 {
 		return 0, fmt.Errorf("ssd: chip %d deadlocked during GC of block %d", chip, victim)
 	}
-	b := d.freeBlocks[chip][0]
-	d.freeBlocks[chip] = d.freeBlocks[chip][1:]
 	d.activeBlock[chip] = b
 	d.writePtr[chip] = b * ppb
 	pp := d.writePtr[chip]
 	d.writePtr[chip]++
 	return pp, nil
-}
-
-func (d *Device) isFree(chip int, b int64) bool {
-	for _, fb := range d.freeBlocks[chip] {
-		if fb == b {
-			return true
-		}
-	}
-	return false
 }
 
 // Stats returns a copy of the device counters.
@@ -464,11 +567,14 @@ func (c Config) LifetimeYears(writeRate units.Bandwidth) float64 {
 }
 
 // FreePhysicalPages reports unwritten physical pages (for tests).
+// Unmaterialised chunks are wholly free.
 func (d *Device) FreePhysicalPages() int64 {
-	var n int64
-	for _, s := range d.pageState {
-		if s == pageFree {
-			n++
+	n := d.totalPhysPages
+	for _, c := range d.pageState.chunks {
+		for _, s := range c {
+			if s != pageFree {
+				n--
+			}
 		}
 	}
 	return n
@@ -479,17 +585,21 @@ func (d *Device) FreePhysicalPages() int64 {
 // counts match page states. For tests.
 func (d *Device) CheckConsistency() error {
 	counts := make([]int32, d.blocks)
-	for pp, st := range d.pageState {
-		if st != pageValid {
-			continue
-		}
-		counts[int64(pp)/int64(d.cfg.PagesPerBlock)]++
-		lp := d.reverse[pp]
-		if lp == unmapped {
-			return fmt.Errorf("ssd: valid page %d has no reverse mapping", pp)
-		}
-		if d.mapping[lp] != int64(pp) {
-			return fmt.Errorf("ssd: page %d reverse-maps to %d whose mapping is %d", pp, lp, d.mapping[lp])
+	for ci, c := range d.pageState.chunks {
+		base := int64(ci) << chunkBits
+		for j, st := range c {
+			if st != pageValid {
+				continue
+			}
+			pp := base + int64(j)
+			counts[pp/int64(d.cfg.PagesPerBlock)]++
+			lp := d.reverse.at(pp)
+			if lp == unmapped {
+				return fmt.Errorf("ssd: valid page %d has no reverse mapping", pp)
+			}
+			if d.mapping.at(lp) != pp {
+				return fmt.Errorf("ssd: page %d reverse-maps to %d whose mapping is %d", pp, lp, d.mapping.at(lp))
+			}
 		}
 	}
 	for b := int64(0); b < d.blocks; b++ {
@@ -497,12 +607,15 @@ func (d *Device) CheckConsistency() error {
 			return fmt.Errorf("ssd: block %d valid count %d, recount %d", b, d.validInBlock[b], counts[b])
 		}
 	}
-	for lp, pp := range d.mapping {
-		if pp == unmapped {
-			continue
-		}
-		if d.pageState[pp] != pageValid {
-			return fmt.Errorf("ssd: logical %d maps to non-valid physical %d", lp, pp)
+	for ci, c := range d.mapping.chunks {
+		base := int64(ci) << chunkBits
+		for j, pp := range c {
+			if pp == unmapped {
+				continue
+			}
+			if d.pageState.at(pp) != pageValid {
+				return fmt.Errorf("ssd: logical %d maps to non-valid physical %d", base+int64(j), pp)
+			}
 		}
 	}
 	return nil

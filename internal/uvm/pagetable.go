@@ -4,15 +4,18 @@
 // queues plus arbiter that batch tensor migrations into transfer sets
 // (Figure 10).
 //
-// The page table is a 4-level radix tree over 48-bit virtual addresses with
-// a configurable page size. Range operations (MapRange/UnmapRange) are the
-// fast path used by tensor-granularity migrations; they touch the same tree
-// as per-page operations, so the translation semantics are identical at any
-// granularity.
+// The page table stores translations as contiguous extents: runs of pages
+// that are virtually contiguous, live in the same location, and map to
+// consecutive device addresses. A whole-tensor migration (MapRange /
+// UnmapRange, the fast path of Figure 10 step 5) updates one run in
+// O(log n) instead of walking a radix tree once per page; single-page
+// operations split and merge runs so the translation semantics are
+// identical at any granularity (see DESIGN.md §2).
 package uvm
 
 import (
 	"fmt"
+	"sort"
 
 	"g10sim/internal/units"
 )
@@ -54,17 +57,21 @@ type PTE struct {
 	Addr uint64
 }
 
-const (
-	levelBits = 9
-	levels    = 4
-	fanout    = 1 << levelBits
-)
+// walkLevels mirrors the 4-level radix walk of a 48-bit VA space with 9-bit
+// levels; the fault-latency model charges one memory access per level.
+const walkLevels = 4
 
-type node struct {
-	children [fanout]*node
-	leaves   []PTE // allocated only at the last level
-	occupied int
+// extent is a run of pages contiguous in all three senses: virtual page
+// number, location, and device address (page i of the run lives at
+// addr + i). Runs never overlap and are kept sorted by vpn.
+type extent struct {
+	vpn   uint64
+	pages int64
+	loc   Location
+	addr  uint64
 }
+
+func (e extent) end() uint64 { return e.vpn + uint64(e.pages) }
 
 // PageTable is the unified (host-side) page table. GPU-local tables and
 // TLBs are kept coherent by the UVM runtime; this simulator models that
@@ -72,7 +79,7 @@ type node struct {
 type PageTable struct {
 	pageBits uint
 	pageSize units.Bytes
-	root     *node
+	runs     []extent
 	mapped   int64
 	// WalkLevels is the number of memory accesses one translation costs —
 	// used by the fault-latency model.
@@ -89,7 +96,7 @@ func NewPageTable(pageSize units.Bytes) (*PageTable, error) {
 	for s := pageSize; s > 1; s >>= 1 {
 		bits++
 	}
-	return &PageTable{pageBits: bits, pageSize: pageSize, root: &node{}, WalkLevels: levels}, nil
+	return &PageTable{pageBits: bits, pageSize: pageSize, WalkLevels: walkLevels}, nil
 }
 
 // MustNewPageTable panics on config error.
@@ -107,101 +114,63 @@ func (pt *PageTable) PageSize() units.Bytes { return pt.pageSize }
 // Mapped reports how many pages currently have translations.
 func (pt *PageTable) Mapped() int64 { return pt.mapped }
 
+// Runs reports how many contiguous extents the table currently holds (a
+// fragmentation measure; one long-lived tensor should stay one run).
+func (pt *PageTable) Runs() int { return len(pt.runs) }
+
 // vpn converts a virtual address to its virtual page number.
 func (pt *PageTable) vpn(va uint64) uint64 { return va >> pt.pageBits }
 
-func indexAt(vpn uint64, level int) int {
-	shift := uint((levels - 1 - level) * levelBits)
-	return int((vpn >> shift) & (fanout - 1))
+// findRun returns the index of the run containing vpn, or -1.
+func (pt *PageTable) findRun(vpn uint64) int {
+	i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].end() > vpn })
+	if i < len(pt.runs) && pt.runs[i].vpn <= vpn {
+		return i
+	}
+	return -1
 }
 
 // Map installs (or replaces) the translation for the page containing va.
 func (pt *PageTable) Map(va uint64, pte PTE) {
-	vpn := pt.vpn(va)
-	n := pt.root
-	for level := 0; level < levels-1; level++ {
-		idx := indexAt(vpn, level)
-		if n.children[idx] == nil {
-			n.children[idx] = &node{}
-			n.occupied++
-		}
-		n = n.children[idx]
-	}
-	if n.leaves == nil {
-		n.leaves = make([]PTE, fanout)
-	}
-	idx := indexAt(vpn, levels-1)
-	if n.leaves[idx].Loc == Unmapped {
-		pt.mapped++
-		n.occupied++
-	}
-	n.leaves[idx] = pte
+	pt.mapRun(pt.vpn(va), 1, pte.Loc, pte.Addr)
 }
 
 // Translate walks the table for va. ok is false on a missing translation
 // (page fault).
 func (pt *PageTable) Translate(va uint64) (PTE, bool) {
 	vpn := pt.vpn(va)
-	n := pt.root
-	for level := 0; level < levels-1; level++ {
-		n = n.children[indexAt(vpn, level)]
-		if n == nil {
-			return PTE{}, false
-		}
-	}
-	if n.leaves == nil {
+	i := pt.findRun(vpn)
+	if i < 0 {
 		return PTE{}, false
 	}
-	pte := n.leaves[indexAt(vpn, levels-1)]
-	if pte.Loc == Unmapped {
-		return PTE{}, false
-	}
-	return pte, true
+	r := &pt.runs[i]
+	return PTE{Loc: r.loc, Addr: r.addr + (vpn - r.vpn)}, true
 }
 
 // Unmap removes the translation for the page containing va, reporting
 // whether one existed.
 func (pt *PageTable) Unmap(va uint64) bool {
-	vpn := pt.vpn(va)
-	n := pt.root
-	for level := 0; level < levels-1; level++ {
-		n = n.children[indexAt(vpn, level)]
-		if n == nil {
-			return false
-		}
-	}
-	if n.leaves == nil {
-		return false
-	}
-	idx := indexAt(vpn, levels-1)
-	if n.leaves[idx].Loc == Unmapped {
-		return false
-	}
-	n.leaves[idx] = PTE{}
-	n.occupied--
-	pt.mapped--
-	return true
+	return pt.clearRange(pt.vpn(va), 1) > 0
 }
 
 // MapRange maps pages contiguous virtual pages starting at va to
 // consecutive device addresses starting at startAddr in loc. This is how a
-// whole-tensor migration updates the table (step 5 of Figure 10).
+// whole-tensor migration updates the table (step 5 of Figure 10): one
+// ordered-structure edit regardless of the tensor's page count.
 func (pt *PageTable) MapRange(va uint64, pages int64, loc Location, startAddr uint64) {
-	for i := int64(0); i < pages; i++ {
-		pt.Map(va+uint64(i)*uint64(pt.pageSize), PTE{Loc: loc, Addr: startAddr + uint64(i)})
+	if pages <= 0 {
+		return
 	}
+	pt.mapRun(pt.vpn(va), pages, loc, startAddr)
 }
 
 // UnmapRange unmaps a contiguous run of pages, returning how many were
 // mapped.
 func (pt *PageTable) UnmapRange(va uint64, pages int64) int64 {
-	var n int64
-	for i := int64(0); i < pages; i++ {
-		if pt.Unmap(va + uint64(i)*uint64(pt.pageSize)) {
-			n++
-		}
+	if pages <= 0 {
+		return 0
 	}
-	return n
+	return pt.clearRange(pt.vpn(va), pages)
 }
 
 // RangeLocation reports the location of a contiguous range if uniform;
@@ -210,15 +179,109 @@ func (pt *PageTable) RangeLocation(va uint64, pages int64) (Location, bool) {
 	if pages <= 0 {
 		return Unmapped, false
 	}
-	first, ok := pt.Translate(va)
-	if !ok {
+	vpn := pt.vpn(va)
+	end := vpn + uint64(pages)
+	i := pt.findRun(vpn)
+	if i < 0 {
 		return Unmapped, false
 	}
-	for i := int64(1); i < pages; i++ {
-		pte, ok := pt.Translate(va + uint64(i)*uint64(pt.pageSize))
-		if !ok || pte.Loc != first.Loc {
+	loc := pt.runs[i].loc
+	// Walk forward: runs must tile [vpn, end) without gaps, all in loc.
+	// (Device-address continuity across runs is not required — the per-page
+	// reference model only compares locations.)
+	pos := pt.runs[i].end()
+	for pos < end {
+		i++
+		if i >= len(pt.runs) || pt.runs[i].vpn != pos || pt.runs[i].loc != loc {
 			return Unmapped, false
 		}
+		pos = pt.runs[i].end()
 	}
-	return first.Loc, true
+	return loc, true
+}
+
+// mapRun installs [vpn, vpn+pages) -> (loc, addr..), replacing whatever was
+// there, then merges with adjacent runs when both the location and the
+// device addresses continue across the seam — so a tensor remapped in
+// chunks coalesces back into a single extent.
+func (pt *PageTable) mapRun(vpn uint64, pages int64, loc Location, addr uint64) {
+	pt.clearRange(vpn, pages)
+	n := extent{vpn: vpn, pages: pages, loc: loc, addr: addr}
+	i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].vpn > vpn })
+	// Try merging with the left neighbor.
+	if i > 0 {
+		l := &pt.runs[i-1]
+		if l.end() == n.vpn && l.loc == n.loc && l.addr+uint64(l.pages) == n.addr {
+			l.pages += n.pages
+			// And across to the right neighbor.
+			if i < len(pt.runs) {
+				r := pt.runs[i]
+				if l.end() == r.vpn && l.loc == r.loc && l.addr+uint64(l.pages) == r.addr {
+					l.pages += r.pages
+					pt.runs = append(pt.runs[:i], pt.runs[i+1:]...)
+				}
+			}
+			pt.mapped += pages
+			return
+		}
+	}
+	// Try merging with the right neighbor.
+	if i < len(pt.runs) {
+		r := &pt.runs[i]
+		if n.end() == r.vpn && n.loc == r.loc && n.addr+uint64(n.pages) == r.addr {
+			r.vpn = n.vpn
+			r.pages += n.pages
+			r.addr = n.addr
+			pt.mapped += pages
+			return
+		}
+	}
+	pt.runs = append(pt.runs, extent{})
+	copy(pt.runs[i+1:], pt.runs[i:])
+	pt.runs[i] = n
+	pt.mapped += pages
+}
+
+// clearRange removes all translations in [vpn, vpn+pages), splitting
+// partially covered runs, and returns how many pages were mapped.
+func (pt *PageTable) clearRange(vpn uint64, pages int64) int64 {
+	end := vpn + uint64(pages)
+	// First run that extends past vpn.
+	i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].end() > vpn })
+	if i >= len(pt.runs) || pt.runs[i].vpn >= end {
+		return 0
+	}
+	var removed int64
+	var keep [2]extent // partial remainders at the seam(s)
+	nkeep := 0
+	j := i
+	for j < len(pt.runs) && pt.runs[j].vpn < end {
+		r := pt.runs[j]
+		lo, hi := r.vpn, r.end()
+		if lo < vpn {
+			keep[nkeep] = extent{vpn: lo, pages: int64(vpn - lo), loc: r.loc, addr: r.addr}
+			nkeep++
+			lo = vpn
+		}
+		if hi > end {
+			keep[nkeep] = extent{vpn: end, pages: int64(hi - end), loc: r.loc, addr: r.addr + (end - r.vpn)}
+			nkeep++
+			hi = end
+		}
+		removed += int64(hi - lo)
+		j++
+	}
+	if delta := nkeep - (j - i); delta <= 0 {
+		copy(pt.runs[i:], keep[:nkeep])
+		copy(pt.runs[i+nkeep:], pt.runs[j:])
+		pt.runs = pt.runs[:len(pt.runs)+delta]
+	} else {
+		// Only a middle split grows the slice: one run became two.
+		pt.runs = append(pt.runs, extent{})
+		copy(pt.runs[i+2:], pt.runs[i+1:])
+		pt.runs[i] = keep[0]
+		pt.runs[i+1] = keep[1]
+	}
+	pt.mapped -= removed
+	return removed
 }

@@ -13,7 +13,13 @@ type TLB struct {
 	sets     int
 	ways     int
 	pageBits uint
-	entries  [][]tlbEntry // per set, most-recently-used first
+	// entries is a flat sets×ways array (set s occupies
+	// entries[s*ways : s*ways+setLen[s]], most-recently-used first); the
+	// flat layout keeps range shootdown scans cache-friendly.
+	entries  []tlbEntry
+	setLen   []int32
+	setValid []int32 // valid entries per set (lets shootdowns skip sets)
+	valid    int64   // total valid entries
 
 	hits, misses, shootdowns int64
 }
@@ -36,9 +42,11 @@ func NewTLB(sets, ways int, pageSize units.Bytes) (*TLB, error) {
 	for s := pageSize; s > 1; s >>= 1 {
 		bits++
 	}
-	t := &TLB{sets: sets, ways: ways, pageBits: bits, entries: make([][]tlbEntry, sets)}
-	for i := range t.entries {
-		t.entries[i] = make([]tlbEntry, 0, ways)
+	t := &TLB{
+		sets: sets, ways: ways, pageBits: bits,
+		entries:  make([]tlbEntry, sets*ways),
+		setLen:   make([]int32, sets),
+		setValid: make([]int32, sets),
 	}
 	return t, nil
 }
@@ -54,11 +62,16 @@ func MustNewTLB(sets, ways int, pageSize units.Bytes) *TLB {
 
 func (t *TLB) setOf(vpn uint64) int { return int(vpn % uint64(t.sets)) }
 
+// set returns the occupied entries of set s, MRU first.
+func (t *TLB) set(s int) []tlbEntry {
+	return t.entries[s*t.ways : s*t.ways+int(t.setLen[s])]
+}
+
 // Lookup searches for the translation of va, updating LRU order and
 // hit/miss counters.
 func (t *TLB) Lookup(va uint64) (PTE, bool) {
 	vpn := va >> t.pageBits
-	set := t.entries[t.setOf(vpn)]
+	set := t.set(t.setOf(vpn))
 	for i, e := range set {
 		if e.valid && e.vpn == vpn {
 			// Move to front (MRU).
@@ -77,7 +90,7 @@ func (t *TLB) Lookup(va uint64) (PTE, bool) {
 func (t *TLB) Insert(va uint64, pte PTE) {
 	vpn := va >> t.pageBits
 	s := t.setOf(vpn)
-	set := t.entries[s]
+	set := t.set(s)
 	for i, e := range set {
 		if e.valid && e.vpn == vpn {
 			copy(set[1:i+1], set[:i])
@@ -85,39 +98,81 @@ func (t *TLB) Insert(va uint64, pte PTE) {
 			return
 		}
 	}
-	if len(set) < t.ways {
-		set = append(set, tlbEntry{})
+	evictedValid := false
+	if int(t.setLen[s]) < t.ways {
+		t.setLen[s]++
+		set = t.set(s)
+	} else {
+		evictedValid = set[len(set)-1].valid
 	}
 	copy(set[1:], set)
 	set[0] = tlbEntry{vpn: vpn, pte: pte, valid: true}
-	t.entries[s] = set
+	if !evictedValid {
+		t.setValid[s]++
+		t.valid++
+	}
 }
 
 // Invalidate drops the entry for va if present (single-page shootdown).
 func (t *TLB) Invalidate(va uint64) {
 	vpn := va >> t.pageBits
-	set := t.entries[t.setOf(vpn)]
+	s := t.setOf(vpn)
+	if t.setValid[s] == 0 {
+		return
+	}
+	set := t.set(s)
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
 			set[i].valid = false
+			t.setValid[s]--
+			t.valid--
 			t.shootdowns++
 			return
 		}
 	}
 }
 
-// InvalidateRange shoots down all entries covering [va, va+pages).
+// InvalidateRange shoots down all entries covering [va, va+pages). For
+// large ranges (whole-tensor migrations), it scans the TLB's entries once
+// instead of probing per page, so the shootdown cost is bounded by the TLB
+// size rather than the tensor size. The crossover point is where one probe
+// per page (each touching up to `ways` entries) starts costing more than
+// one pass over all sets×ways entries.
 func (t *TLB) InvalidateRange(va uint64, pages int64) {
-	for i := int64(0); i < pages; i++ {
-		t.Invalidate(va + uint64(i)<<t.pageBits)
+	if t.valid == 0 {
+		return
+	}
+	if pages <= int64(t.sets) {
+		for i := int64(0); i < pages; i++ {
+			t.Invalidate(va + uint64(i)<<t.pageBits)
+		}
+		return
+	}
+	lo := va >> t.pageBits
+	hi := lo + uint64(pages)
+	for s := 0; s < t.sets; s++ {
+		if t.setValid[s] == 0 {
+			continue
+		}
+		set := t.set(s)
+		for i := range set {
+			if set[i].valid && set[i].vpn >= lo && set[i].vpn < hi {
+				set[i].valid = false
+				t.setValid[s]--
+				t.valid--
+				t.shootdowns++
+			}
+		}
 	}
 }
 
 // Flush drops every entry.
 func (t *TLB) Flush() {
-	for s := range t.entries {
-		t.entries[s] = t.entries[s][:0]
+	for s := range t.setLen {
+		t.setLen[s] = 0
+		t.setValid[s] = 0
 	}
+	t.valid = 0
 	t.shootdowns++
 }
 
