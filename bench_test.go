@@ -254,5 +254,10 @@ func churnWA(b *testing.B, op float64) float64 {
 	return dev.WriteAmplification()
 }
 
-// BenchmarkMultiGPU regenerates the §6 multi-GPU extension study.
+// BenchmarkMultiGPU regenerates the §6 multi-GPU extension study
+// (co-simulation plus the legacy static-share comparison).
 func BenchmarkMultiGPU(b *testing.B) { benchFigure(b, experiments.MultiGPU) }
+
+// BenchmarkColocate regenerates the heterogeneous co-location study on the
+// cluster engine.
+func BenchmarkColocate(b *testing.B) { benchFigure(b, experiments.Colocate) }

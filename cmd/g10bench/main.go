@@ -1,6 +1,8 @@
 // Command g10bench regenerates the paper's evaluation figures as text
 // tables: the §3 characterisation (Figures 2–4), the §7 performance study
-// (Figures 11–19), and the §7.7 SSD-lifetime analysis.
+// (Figures 11–19), the §7.7 SSD-lifetime analysis, and the cluster-engine
+// studies — the §6 multi-GPU grid (true co-simulation vs the legacy static
+// bandwidth split) and the heterogeneous co-location study.
 //
 // Examples:
 //
@@ -8,7 +10,10 @@
 //	g10bench -fig all                # the full harness (takes a while)
 //	g10bench -fig 15 -models BERT    # one sweep, one model
 //	g10bench -fig 11 -short          # shrunken fast mode
+//	g10bench -fig multigpu -short    # cosim-vs-static multi-GPU comparison
+//	g10bench -fig colocate -short    # heterogeneous jobs on one array
 //	g10bench -fig all -json BENCH_figures.json   # machine-readable timings
+//	                                 # (includes the cluster-engine figures)
 package main
 
 import (
@@ -40,6 +45,7 @@ var figures = []struct {
 	{"19", wrap(experiments.Figure19)},
 	{"lifetime", wrap(experiments.SSDLifetime)},
 	{"multigpu", wrap(experiments.MultiGPU)},
+	{"colocate", wrap(experiments.Colocate)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -67,7 +73,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu, or 'all'")
+		fig      = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate, or 'all'")
 		short    = flag.Bool("short", false, "shrunken workloads for a fast pass")
 		models   = flag.String("models", "", "comma-separated model subset (default: all five)")
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")

@@ -23,6 +23,7 @@ import (
 	"g10sim/internal/experiments"
 	"g10sim/internal/gpu"
 	"g10sim/internal/models"
+	"g10sim/internal/policy"
 	"g10sim/internal/profile"
 	"g10sim/internal/units"
 	"g10sim/internal/vitality"
@@ -167,14 +168,25 @@ func Simulate(w *Workload, policyName string, cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	icfg := cfg.toInternal()
-	if policyName == "Ideal" {
-		icfg.GPUCapacity = 1 << 60
-	}
+	icfg := tenantConfig(cfg.toInternal(), policyName)
 	res, err := gpu.Run(gpu.RunParams{Analysis: w.analysis, Policy: pol, Config: icfg})
 	if err != nil {
 		return Report{}, err
 	}
+	return reportFrom(res, icfg), nil
+}
+
+// tenantConfig applies per-policy config overrides: the Ideal bound runs
+// with effectively infinite GPU memory (one definition, in internal/policy).
+func tenantConfig(icfg gpu.Config, policyName string) gpu.Config {
+	if policyName == "Ideal" {
+		icfg = policy.IdealConfig(icfg)
+	}
+	return icfg
+}
+
+// reportFrom converts an internal result to the public report.
+func reportFrom(res gpu.Result, icfg gpu.Config) Report {
 	var rate units.Bandwidth
 	if res.IterationTime > 0 {
 		rate = units.Bandwidth(float64(res.GPUToSSD) / res.IterationTime.Seconds())
@@ -197,7 +209,83 @@ func Simulate(w *Workload, policyName string, cfg Config) (Report, error) {
 		SSDLifetimeYears:   icfg.SSD.LifetimeYears(rate),
 		Failed:             res.Failed,
 		FailReason:         res.FailReason,
-	}, nil
+	}
+}
+
+// ClusterJob is one tenant of a shared-device co-simulation: a workload
+// plus the policy driving its migrations.
+type ClusterJob struct {
+	Workload *Workload
+	Policy   string
+}
+
+// ClusterConfig sizes a co-simulation. The embedded Config's per-GPU fields
+// (GPU memory, PCIe bandwidth, iterations) apply to every tenant; its SSD
+// and host-memory fields describe the single array and host pool all
+// tenants share.
+type ClusterConfig struct {
+	Config
+	// SSDs is the number of drives in the shared array (default 1); the
+	// array's bandwidth and capacity scale linearly with it.
+	SSDs int
+}
+
+// ClusterReport is the outcome of one co-simulation.
+type ClusterReport struct {
+	// Jobs holds each tenant's report in input order. A job's SSD traffic
+	// and write amplification are its attributed share of the shared array.
+	Jobs []Report
+
+	// MakespanSeconds is when the last job finished.
+	MakespanSeconds float64
+	// AggregateThroughput sums the jobs' examples/second.
+	AggregateThroughput float64
+	// ArrayWriteGB is the total host-write volume the shared array
+	// absorbed; ArrayWriteAmplification its array-level WA.
+	ArrayWriteGB            float64
+	ArrayWriteAmplification float64
+}
+
+// SimulateCluster co-simulates every job on one shared flash array, host
+// memory pool, and clock — true shared-device contention, unlike a static
+// bandwidth split. A one-job cluster reproduces Simulate exactly.
+func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, error) {
+	if len(jobs) == 0 {
+		return ClusterReport{}, fmt.Errorf("g10sim: cluster with no jobs")
+	}
+	shared := ccfg.Config.toInternal()
+	shared.SSD = shared.SSD.Array(ccfg.SSDs)
+	tenants := make([]gpu.ClusterTenant, len(jobs))
+	for i, j := range jobs {
+		if j.Workload == nil {
+			return ClusterReport{}, fmt.Errorf("g10sim: job %d has no workload", i)
+		}
+		pol, err := experiments.NewPolicy(j.Policy)
+		if err != nil {
+			return ClusterReport{}, err
+		}
+		tenants[i] = gpu.ClusterTenant{
+			Analysis: j.Workload.analysis,
+			Policy:   pol,
+			Config:   tenantConfig(shared, j.Policy),
+			Tag:      fmt.Sprintf("gpu%d", i),
+		}
+	}
+	cres, err := gpu.RunCluster(gpu.ClusterParams{Tenants: tenants, Shared: shared})
+	if err != nil {
+		return ClusterReport{}, err
+	}
+	out := ClusterReport{
+		Jobs:                    make([]Report, len(cres.Tenants)),
+		MakespanSeconds:         cres.Makespan.Seconds(),
+		ArrayWriteGB:            cres.SSDStats.HostWriteBytes.GiB(),
+		ArrayWriteAmplification: cres.WriteAmp,
+	}
+	for i, res := range cres.Tenants {
+		out.Jobs[i] = reportFrom(res, shared)
+		out.AggregateThroughput += out.Jobs[i].Throughput
+	}
+	return out, nil
 }
 
 // TensorKind classifies custom-model tensors (see NewGraphBuilder).

@@ -1,6 +1,8 @@
 package g10sim
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -112,6 +114,115 @@ func TestGraphBuilderCustomModel(t *testing.T) {
 	}
 	if rep.Failed {
 		t.Fatalf("custom model failed: %s", rep.FailReason)
+	}
+}
+
+// TestClusterSingleTenantMatchesSimulate: for every built-in model × policy
+// combination, a one-job SimulateCluster result must be field-for-field
+// identical to Simulate — the cluster engine is the same step machine on
+// the same substrate, just scheduled by the shared-clock driver.
+func TestClusterSingleTenantMatchesSimulate(t *testing.T) {
+	batches := map[string]int{"BERT": 8, "ViT": 8, "Inceptionv3": 8, "ResNet152": 8, "SENet154": 4}
+	cfg := smallConfig()
+	for _, model := range Models() {
+		w, err := BuildModel(model, batches[model])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range Policies() {
+			t.Run(fmt.Sprintf("%s/%s", model, pol), func(t *testing.T) {
+				solo, err := Simulate(w, pol, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cluster, err := SimulateCluster([]ClusterJob{{Workload: w, Policy: pol}}, ClusterConfig{Config: cfg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cluster.Jobs) != 1 {
+					t.Fatalf("%d job reports", len(cluster.Jobs))
+				}
+				if !reflect.DeepEqual(solo, cluster.Jobs[0]) {
+					t.Errorf("1-job cluster diverged from Simulate:\nsimulate: %+v\ncluster:  %+v", solo, cluster.Jobs[0])
+				}
+			})
+		}
+	}
+}
+
+// TestSimulateClusterContention: two jobs on one array must not beat their
+// solo runs, and the report aggregates must be consistent.
+func TestSimulateClusterContention(t *testing.T) {
+	cfg := smallConfig()
+	bert, err := BuildModel("BERT", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resnet, err := BuildModel("ResNet152", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateCluster([]ClusterJob{
+		{Workload: bert, Policy: "G10"},
+		{Workload: resnet, Policy: "Base UVM"},
+	}, ClusterConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("%d jobs", len(rep.Jobs))
+	}
+	var sum float64
+	for i, j := range rep.Jobs {
+		if j.Failed {
+			t.Fatalf("job %d failed: %s", i, j.FailReason)
+		}
+		if j.IterationSeconds <= 0 {
+			t.Errorf("job %d iteration %v", i, j.IterationSeconds)
+		}
+		if rep.MakespanSeconds+1e-12 < j.IterationSeconds {
+			t.Errorf("makespan %v below job %d iteration %v", rep.MakespanSeconds, i, j.IterationSeconds)
+		}
+		sum += j.Throughput
+	}
+	if rep.AggregateThroughput != sum {
+		t.Errorf("aggregate throughput %v != sum %v", rep.AggregateThroughput, sum)
+	}
+	for _, pol := range []string{"G10", "Base UVM"} {
+		var w *Workload
+		if pol == "G10" {
+			w = bert
+		} else {
+			w = resnet
+		}
+		solo, err := Simulate(w, pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shared Report
+		for _, j := range rep.Jobs {
+			if j.Policy == pol {
+				shared = j
+			}
+		}
+		if shared.IterationSeconds < 0.999*solo.IterationSeconds {
+			t.Errorf("%s ran faster co-located (%.4fs) than alone (%.4fs)",
+				pol, shared.IterationSeconds, solo.IterationSeconds)
+		}
+	}
+}
+
+// TestSimulateClusterRejectsBadInput covers the error paths.
+func TestSimulateClusterRejectsBadInput(t *testing.T) {
+	if _, err := SimulateCluster(nil, ClusterConfig{Config: DefaultConfig()}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	w, _ := BuildModel("BERT", 8)
+	if _, err := SimulateCluster([]ClusterJob{{Workload: w, Policy: "nope"}}, ClusterConfig{Config: DefaultConfig()}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := SimulateCluster([]ClusterJob{{Policy: "G10"}}, ClusterConfig{Config: DefaultConfig()}); err == nil {
+		t.Error("nil workload accepted")
 	}
 }
 

@@ -95,6 +95,7 @@ type Session struct {
 	mu       sync.Mutex
 	analyses map[string]*flight[*vitality.Analysis]
 	results  map[string]*flight[gpu.Result]
+	clusters map[string]*flight[gpu.ClusterResult]
 }
 
 // NewSession builds a session.
@@ -103,6 +104,7 @@ func NewSession(opt Options) *Session {
 		opt:      opt,
 		analyses: make(map[string]*flight[*vitality.Analysis]),
 		results:  make(map[string]*flight[gpu.Result]),
+		clusters: make(map[string]*flight[gpu.ClusterResult]),
 	}
 }
 
@@ -190,6 +192,31 @@ func (s *Session) Run(model string, batch int, polName, cfgTag string, cfg gpu.C
 	}
 	s.mu.Unlock()
 	return f.do(run)
+}
+
+// RunCluster co-simulates a multi-tenant cluster, caching by key. build
+// assembles the cluster parameters (fresh policy instances per call; only
+// one call survives thanks to the single-flight cell), so concurrent
+// prewarming is as deterministic as the serial pass.
+func (s *Session) RunCluster(key string, build func() (gpu.ClusterParams, error)) (gpu.ClusterResult, error) {
+	s.mu.Lock()
+	f, ok := s.clusters[key]
+	if !ok {
+		f = &flight[gpu.ClusterResult]{}
+		s.clusters[key] = f
+	}
+	s.mu.Unlock()
+	return f.do(func() (gpu.ClusterResult, error) {
+		p, err := build()
+		if err != nil {
+			return gpu.ClusterResult{}, err
+		}
+		res, err := gpu.RunCluster(p)
+		if err != nil {
+			return gpu.ClusterResult{}, fmt.Errorf("experiments: cluster %s: %w", key, err)
+		}
+		return res, nil
+	})
 }
 
 // RunBase runs with the session's default (Table 2 or short-scaled) config.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -306,24 +307,103 @@ func TestSessionCaching(t *testing.T) {
 }
 
 func TestMultiGPUExtension(t *testing.T) {
-	s, _ := shortSession(t, "ResNet152")
+	s, buf := shortSession(t, "ResNet152")
 	rows, err := MultiGPU(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	perf := map[[2]int]float64{}
+	cosim := map[[2]int]float64{}
+	static := map[[2]int]float64{}
 	for _, r := range rows {
-		perf[[2]int{r.GPUs, r.SSDs}] = r.PerGPUNorm
+		cosim[[2]int{r.GPUs, r.SSDs}] = r.CosimPerGPUNorm
+		static[[2]int{r.GPUs, r.SSDs}] = r.StaticPerGPUNorm
 	}
-	// More GPUs per SSD means less flash bandwidth per GPU: per-GPU
-	// performance must not improve.
-	if perf[[2]int{4, 1}] > perf[[2]int{1, 1}]+0.02 {
-		t.Errorf("per-GPU perf improved when sharing one SSD across 4 GPUs: %.3f vs %.3f",
-			perf[[2]int{4, 1}], perf[[2]int{1, 1}])
+	for name, perf := range map[string]map[[2]int]float64{"cosim": cosim, "static": static} {
+		// More GPUs per SSD means less flash bandwidth per GPU: per-GPU
+		// performance must not improve.
+		if perf[[2]int{4, 1}] > perf[[2]int{1, 1}]+0.02 {
+			t.Errorf("%s: per-GPU perf improved when sharing one SSD across 4 GPUs: %.3f vs %.3f",
+				name, perf[[2]int{4, 1}], perf[[2]int{1, 1}])
+		}
+		// Scaling SSDs with GPUs (as §6 recommends) must recover performance.
+		if perf[[2]int{4, 4}] < perf[[2]int{4, 1}]-0.02 {
+			t.Errorf("%s: 4 GPUs/4 SSDs (%.3f) below 4 GPUs/1 SSD (%.3f)",
+				name, perf[[2]int{4, 4}], perf[[2]int{4, 1}])
+		}
 	}
-	// Scaling SSDs with GPUs (as §6 recommends) must recover performance.
-	if perf[[2]int{4, 4}] < perf[[2]int{4, 1}]-0.02 {
-		t.Errorf("4 GPUs/4 SSDs (%.3f) below 4 GPUs/1 SSD (%.3f)",
-			perf[[2]int{4, 4}], perf[[2]int{4, 1}])
+	// At one GPU the two sharing models describe the same system: no
+	// static split happens and the cluster holds one tenant.
+	for _, ssds := range []int{1, 4} {
+		c, st := cosim[[2]int{1, ssds}], static[[2]int{1, ssds}]
+		if diff := c - st; diff > 0.03 || diff < -0.03 {
+			t.Errorf("1 GPU / %d SSDs: cosim %.3f and static %.3f should agree", ssds, c, st)
+		}
+	}
+	if !strings.Contains(buf.String(), "cosim") {
+		t.Error("output missing the cosim-vs-static comparison")
+	}
+}
+
+func TestColocateStudy(t *testing.T) {
+	s, buf := shortSession(t)
+	rows, err := Colocate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 mixes × 2 jobs
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failed {
+			t.Errorf("%s %s failed", r.Mix, r.Model)
+			continue
+		}
+		if r.Norm <= 0 || r.Norm > 1.001 || r.SoloNorm <= 0 || r.SoloNorm > 1.001 {
+			t.Errorf("%s %s: norms out of range: co %.3f solo %.3f", r.Mix, r.Model, r.Norm, r.SoloNorm)
+		}
+		// Sharing the array can only take performance away (up to noise).
+		if r.Interference < -0.02 {
+			t.Errorf("%s %s: co-located (%.3f) beat solo (%.3f)", r.Mix, r.Model, r.Norm, r.SoloNorm)
+		}
+		if r.TenantWA < 1 {
+			t.Errorf("%s %s: tenant WA %.2f < 1", r.Mix, r.Model, r.TenantWA)
+		}
+	}
+	if !strings.Contains(buf.String(), "Co-location") {
+		t.Error("missing header")
+	}
+}
+
+// TestColocateDeterministicAcrossWorkers: the co-location study's cluster
+// runs land in the single-flight cache, so the output is identical at any
+// worker-pool size.
+func TestColocateDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []ColocateRow {
+		s := NewSession(Options{Short: true, Workers: workers})
+		rows, err := Colocate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("worker-pool size changed the co-location results:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestMultiGPUDeterministicAcrossWorkers: same for the cosim multi-GPU grid.
+func TestMultiGPUDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []MultiGPURow {
+		s := NewSession(Options{Short: true, Models: []string{"ResNet152"}, Workers: workers})
+		rows, err := MultiGPU(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("worker-pool size changed the multi-GPU results:\nserial:   %+v\nparallel: %+v", serial, parallel)
 	}
 }

@@ -9,45 +9,99 @@ import (
 	"g10sim/internal/vitality"
 )
 
-// MultiGPURow is one cell of the §6 multi-GPU study.
+// MultiGPURow is one cell of the §6 multi-GPU study, reporting the same
+// (GPUs, SSDs) point under two models of sharing:
+//
+//   - Cosim: true co-simulation — G tenants on one cluster engine, one
+//     clock, one flash array (shared FTL and GC), one host memory pool.
+//     Tenants contend dynamically: bursty channel interference, GC noise
+//     from a neighbour's writes, host-capacity stealing.
+//   - Static: the legacy approximation — each GPU simulated alone with a
+//     pre-divided S/G share of the array's bandwidth and 1/G of host
+//     memory.
+//
+// The cosim−static delta is the contention dynamics a static split cannot
+// capture — the new result of this study.
 type MultiGPURow struct {
-	Model       string
-	GPUs        int
-	SSDs        int
-	PerGPUNorm  float64 // each GPU's normalized performance
-	AggregateEx float64 // total examples/sec across GPUs
+	Model string
+	GPUs  int
+	SSDs  int
+
+	CosimPerGPUNorm  float64 // mean per-tenant normalized performance
+	CosimAggregateEx float64 // summed tenant examples/sec
+
+	StaticPerGPUNorm  float64
+	StaticAggregateEx float64
 }
 
-// MultiGPU implements the paper's §6 extension sketch: multiple GPUs each
-// run an independent G10 instance (each makes its own migration decisions)
-// while sharing the flash array. Following §6, the SSD array appears to
-// every GPU as a shared flash space, so with G GPUs and S SSDs each
-// instance sees S/G of the array's bandwidth; each GPU keeps its own PCIe
-// link and an equal share of host memory. The sweep reports per-GPU
-// normalized performance and aggregate throughput as GPUs and SSDs scale —
-// the sensitivity analysis §6 defers to §7.5.
+// Delta reports cosim minus static per-GPU normalized performance.
+func (r MultiGPURow) Delta() float64 { return r.CosimPerGPUNorm - r.StaticPerGPUNorm }
+
+// multiGPUCounts reports the (GPUs, SSDs) grid under the session's scope.
+func (s *Session) multiGPUCounts() ([]int, []int) {
+	if s.opt.Short {
+		return []int{1, 4}, []int{1, 4}
+	}
+	return []int{1, 2, 4, 8}, []int{1, 2, 4, 8}
+}
+
+// multiGPUShared scales the base array to an s-drive aggregate
+// (ssd.Config.Array); host memory is one shared pool — the cluster's
+// capacity arbiter hands it out dynamically.
+func multiGPUShared(cfg gpu.Config, ssds int) gpu.Config {
+	cfg.SSD = cfg.SSD.Array(ssds)
+	return cfg
+}
+
+// multiGPUStaticCfg is the legacy static-share model: with G GPUs and S
+// SSDs each instance sees S/G of the array's bandwidth and capacity and
+// 1/G of host memory.
+func multiGPUStaticCfg(cfg gpu.Config, gpus, ssds int) gpu.Config {
+	share := float64(ssds) / float64(gpus)
+	cfg.SSD.ReadBandwidth = units.Bandwidth(float64(cfg.SSD.ReadBandwidth) * share)
+	cfg.SSD.WriteBandwidth = units.Bandwidth(float64(cfg.SSD.WriteBandwidth) * share)
+	cfg.SSD.Capacity = units.Bytes(float64(cfg.SSD.Capacity) * share)
+	cfg.HostCapacity = units.Bytes(float64(cfg.HostCapacity) / float64(gpus))
+	return cfg
+}
+
+// multiGPUClusterParams assembles the G-tenant co-simulation of one cell.
+func (s *Session) multiGPUClusterParams(a *vitality.Analysis, gpus, ssds int) (gpu.ClusterParams, error) {
+	base := s.baseConfig(a)
+	tenants := make([]gpu.ClusterTenant, gpus)
+	for i := range tenants {
+		pol, err := NewPolicy("G10")
+		if err != nil {
+			return gpu.ClusterParams{}, err
+		}
+		tenants[i] = gpu.ClusterTenant{Analysis: a, Policy: pol, Config: base}
+	}
+	return gpu.ClusterParams{Tenants: tenants, Shared: multiGPUShared(base, ssds)}, nil
+}
+
+// multiGPUCell runs (or returns the cached) co-simulation for one cell.
+func (s *Session) multiGPUCell(model string, batch, gpus, ssds int) (gpu.ClusterResult, error) {
+	key := fmt.Sprintf("mg-cosim/%s/%d/%dx%d", model, batch, gpus, ssds)
+	return s.RunCluster(key, func() (gpu.ClusterParams, error) {
+		a, err := s.Analysis(model, batch)
+		if err != nil {
+			return gpu.ClusterParams{}, err
+		}
+		return s.multiGPUClusterParams(a, gpus, ssds)
+	})
+}
+
+// MultiGPU implements the paper's §6 extension sketch — multiple GPUs, each
+// running its own G10 instance, sharing one flash array — as a true
+// co-simulation on the cluster engine, with the legacy static-share numbers
+// kept as the comparison column. The sweep reports per-GPU normalized
+// performance and aggregate throughput as GPUs and SSDs scale.
 func MultiGPU(s *Session) ([]MultiGPURow, error) {
 	w := s.opt.writer()
 	fmt.Fprintln(w, "=== §6 extension: multi-GPU sharing an SSD array (G10, per-GPU % of ideal) ===")
-	gpuCounts := []int{1, 2, 4, 8}
-	ssdCounts := []int{1, 2, 4, 8}
-	if s.opt.Short {
-		gpuCounts = []int{1, 4}
-		ssdCounts = []int{1, 4}
-	}
-	shareCfg := func(a *vitality.Analysis, gpus, ssds int) gpu.Config {
-		cfg := s.baseConfig(a)
-		// Each GPU sees its share of the array's bandwidth and capacity,
-		// and of the host memory.
-		share := float64(ssds) / float64(gpus)
-		ssdCfg := cfg.SSD
-		ssdCfg.ReadBandwidth = units.Bandwidth(float64(ssdCfg.ReadBandwidth) * share)
-		ssdCfg.WriteBandwidth = units.Bandwidth(float64(ssdCfg.WriteBandwidth) * share)
-		ssdCfg.Capacity = units.Bytes(float64(ssdCfg.Capacity) * share)
-		cfg.SSD = ssdCfg
-		cfg.HostCapacity = units.Bytes(float64(cfg.HostCapacity) / float64(gpus))
-		return cfg
-	}
+	fmt.Fprintln(w, "cosim: true shared-device co-simulation; static: legacy pre-divided bandwidth")
+	gpuCounts, ssdCounts := s.multiGPUCounts()
+
 	var jobs []func()
 	for _, model := range s.opt.modelSet() {
 		spec, err := models.ByName(model)
@@ -57,16 +111,21 @@ func MultiGPU(s *Session) ([]MultiGPURow, error) {
 		batch := s.batchFor(spec)
 		for _, gpus := range gpuCounts {
 			for _, ssds := range ssdCounts {
-				model, batch, gpus, ssds := model, batch, gpus, ssds
+				model, gpus, ssds := model, gpus, ssds
+				jobs = append(jobs, func() {
+					_, _ = s.multiGPUCell(model, batch, gpus, ssds)
+				})
 				jobs = append(jobs, func() {
 					if a, err := s.Analysis(model, batch); err == nil {
-						_, _ = s.Run(model, batch, "G10", fmt.Sprintf("mg=%dx%d", gpus, ssds), shareCfg(a, gpus, ssds), nil)
+						tag := fmt.Sprintf("mg=%dx%d", gpus, ssds)
+						_, _ = s.Run(model, batch, "G10", tag, multiGPUStaticCfg(s.baseConfig(a), gpus, ssds), nil)
 					}
 				})
 			}
 		}
 	}
 	s.prewarm(jobs)
+
 	var rows []MultiGPURow
 	for _, model := range s.opt.modelSet() {
 		spec, err := models.ByName(model)
@@ -78,22 +137,35 @@ func MultiGPU(s *Session) ([]MultiGPURow, error) {
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(w, "\n%s-%d (rows: GPUs, cols: SSDs %v):\n", model, batch, ssdCounts)
+		fmt.Fprintf(w, "\n%s-%d (rows: GPUs, cols: SSDs %v; cosim%% / static%%):\n", model, batch, ssdCounts)
 		for _, gpus := range gpuCounts {
 			fmt.Fprintf(w, "%4d", gpus)
 			for _, ssds := range ssdCounts {
+				cres, err := s.multiGPUCell(model, batch, gpus, ssds)
+				if err != nil {
+					return nil, err
+				}
+				var norm, aggr float64
+				for _, tr := range cres.Tenants {
+					norm += tr.NormalizedPerf()
+					aggr += tr.Throughput()
+				}
+				norm /= float64(len(cres.Tenants))
+
 				tag := fmt.Sprintf("mg=%dx%d", gpus, ssds)
-				res, err := s.Run(model, batch, "G10", tag, shareCfg(a, gpus, ssds), nil)
+				static, err := s.Run(model, batch, "G10", tag, multiGPUStaticCfg(s.baseConfig(a), gpus, ssds), nil)
 				if err != nil {
 					return nil, err
 				}
 				row := MultiGPURow{
 					Model: model, GPUs: gpus, SSDs: ssds,
-					PerGPUNorm:  res.NormalizedPerf(),
-					AggregateEx: float64(gpus) * res.Throughput(),
+					CosimPerGPUNorm:   norm,
+					CosimAggregateEx:  aggr,
+					StaticPerGPUNorm:  static.NormalizedPerf(),
+					StaticAggregateEx: float64(gpus) * static.Throughput(),
 				}
 				rows = append(rows, row)
-				fmt.Fprintf(w, " %7.1f%%", 100*row.PerGPUNorm)
+				fmt.Fprintf(w, "  %5.1f/%5.1f", 100*row.CosimPerGPUNorm, 100*row.StaticPerGPUNorm)
 			}
 			fmt.Fprintln(w)
 		}

@@ -1,0 +1,82 @@
+package flownet
+
+import (
+	"testing"
+
+	"g10sim/internal/units"
+)
+
+// TestAdvanceEventwiseDeliversAtEventTimes: completions arrive in the
+// callback with the clock standing at their completion time, and reactions
+// (new flows started from the callback) are processed before t.
+func TestAdvanceEventwiseDeliversAtEventTimes(t *testing.T) {
+	n := New()
+	r := n.AddResource("link", units.GBps(1))
+	n.Start("first", units.GB, nil, r) // ~1s
+
+	var deliveredAt []units.Time
+	chained := false
+	n.AdvanceEventwise(10*units.Second, func(done []*Flow) {
+		for _, f := range done {
+			deliveredAt = append(deliveredAt, n.Now())
+			if !chained {
+				chained = true
+				n.Start("second", units.GB, nil, r)
+			}
+			_ = f
+		}
+	})
+	if len(deliveredAt) != 2 {
+		t.Fatalf("delivered %d completions, want 2 (the chained flow must run before t)", len(deliveredAt))
+	}
+	if deliveredAt[0] > units.Second+units.Millisecond {
+		t.Errorf("first completion delivered at %v, want ~1s (at its event time, not at t)", deliveredAt[0])
+	}
+	if deliveredAt[1] < 2*units.Second-units.Millisecond || deliveredAt[1] > 2*units.Second+units.Millisecond {
+		t.Errorf("chained completion delivered at %v, want ~2s", deliveredAt[1])
+	}
+	if n.Now() != 10*units.Second {
+		t.Errorf("clock at %v, want 10s", n.Now())
+	}
+	if !n.Idle() {
+		t.Error("network not idle after both flows completed")
+	}
+}
+
+// TestAdvanceEventwiseMatchesAdvanceTo: the same flow set produces the same
+// completion set and final clock under both advance styles.
+func TestAdvanceEventwiseMatchesAdvanceTo(t *testing.T) {
+	build := func() (*Network, []*Flow) {
+		n := New()
+		a := n.AddResource("a", units.GBps(2))
+		b := n.AddResource("b", units.GBps(1))
+		flows := []*Flow{
+			n.Start("x", units.Bytes(3e8), nil, a),
+			n.Start("y", units.Bytes(5e8), nil, a, b),
+			n.StartAt("z", units.Bytes(2e8), 100*units.Millisecond, nil, b),
+		}
+		return n, flows
+	}
+
+	n1, f1 := build()
+	done1 := append([]*Flow(nil), n1.AdvanceTo(5*units.Second)...)
+
+	n2, f2 := build()
+	var done2 []*Flow
+	n2.AdvanceEventwise(5*units.Second, func(done []*Flow) {
+		done2 = append(done2, done...)
+	})
+
+	if len(done1) != len(done2) || len(done1) != 3 {
+		t.Fatalf("completions: AdvanceTo %d, AdvanceEventwise %d", len(done1), len(done2))
+	}
+	for i := range done1 {
+		if done1[i].Label != done2[i].Label {
+			t.Errorf("completion %d: %q vs %q", i, done1[i].Label, done2[i].Label)
+		}
+		if done1[i].CompletedAt != done2[i].CompletedAt {
+			t.Errorf("completion %d (%s): at %v vs %v", i, done1[i].Label, done1[i].CompletedAt, done2[i].CompletedAt)
+		}
+	}
+	_, _ = f1, f2
+}

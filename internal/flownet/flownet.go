@@ -337,6 +337,28 @@ func (n *Network) AdvanceTo(t units.Time) []*Flow {
 	return n.doneBuf
 }
 
+// AdvanceEventwise moves the clock to t like AdvanceTo, but hands each
+// batch of completions to deliver at the moment it lands rather than
+// collecting everything until t — so callers can react (start new flows,
+// change capacities) at event times. deliver runs once per internal event,
+// possibly with an empty batch (a dormant-flow activation); flows or
+// capacity changes it introduces before t are processed in order.
+func (n *Network) AdvanceEventwise(t units.Time, deliver func(done []*Flow)) {
+	for {
+		e := n.NextEvent()
+		if e > t {
+			break
+		}
+		deliver(n.AdvanceTo(e))
+	}
+	// The final advance normally completes nothing, but a flow whose
+	// remaining bytes round below the completion threshold at t can still
+	// finish here — deliver those too rather than dropping them.
+	if done := n.AdvanceTo(t); len(done) > 0 {
+		deliver(done)
+	}
+}
+
 // step advances exactly to internal event time e, handling activations and
 // completions there. reap already re-derives rates when flows finish, so a
 // second recompute is only needed if dormant flows activated afterwards.

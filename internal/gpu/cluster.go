@@ -1,0 +1,181 @@
+// Cluster engine: co-simulates N tenant machines on one shared clock.
+//
+// Each tenant is a resumable runner (see run.go) owning its GPU, PCIe link,
+// page table, and migration queues; the flash array (one FTL, shared
+// channel bandwidth, shared GC state), host memory capacity, and the host
+// DRAM bus are one substrate every tenant contends on. The scheduler
+// alternates two moves: step every live tenant until only the clock can
+// unblock it, then advance the shared flownet clock to the earliest pending
+// event — a migration chunk landing, a dormant flow activating, or a kernel
+// finishing — delivering completions to their owning machines at the moment
+// they happen. A one-tenant cluster therefore executes exactly the
+// single-machine Run loop.
+package gpu
+
+import (
+	"fmt"
+
+	"g10sim/internal/flownet"
+	"g10sim/internal/profile"
+	"g10sim/internal/ssd"
+	"g10sim/internal/units"
+	"g10sim/internal/vitality"
+)
+
+// ClusterTenant describes one job of a co-simulation.
+type ClusterTenant struct {
+	Analysis *vitality.Analysis
+	// Policy must be a fresh instance per tenant; policies carry per-run
+	// state.
+	Policy Policy
+	// Config's per-GPU fields (GPUCapacity, PCIeBandwidth, migration and
+	// fault parameters, Iterations) apply to this tenant. Its SSD, host
+	// capacity, and host bandwidth fields are overridden by the cluster's
+	// shared configuration so the tenant's planner sees the array it will
+	// actually run on.
+	Config Config
+	// ExecTrace overrides the replayed kernel durations (nil = the trace
+	// the analysis was built from).
+	ExecTrace *profile.Trace
+	// Tag namespaces the tenant's PCIe resources ("gpu<i>" if empty).
+	Tag string
+}
+
+// ClusterParams bundles a co-simulation's inputs.
+type ClusterParams struct {
+	Tenants []ClusterTenant
+	// Shared configures the cross-tenant substrate: the SSD array, host
+	// memory capacity, and host DRAM bandwidth (its per-GPU fields are
+	// ignored).
+	Shared Config
+}
+
+// ClusterResult reports one co-simulation.
+type ClusterResult struct {
+	// Tenants holds each job's result in input order. A tenant's SSDStats
+	// and WriteAmp are its attributed share of the shared array (host
+	// writes, and the GC work those writes triggered).
+	Tenants []Result
+	// Makespan is the clock value at which the last tenant finished.
+	Makespan units.Duration
+	// SSDStats aggregates the whole array; WriteAmp is the array-level
+	// write amplification.
+	SSDStats ssd.Stats
+	WriteAmp float64
+}
+
+// RunCluster co-simulates every tenant against one flash array, host
+// memory pool, and clock. Tenant failures (FlashNeuron-style footnote-1
+// aborts) are reported in the per-tenant Result; hard simulator errors
+// abort the whole run.
+func RunCluster(p ClusterParams) (ClusterResult, error) {
+	if len(p.Tenants) == 0 {
+		return ClusterResult{}, fmt.Errorf("gpu: cluster with no tenants")
+	}
+	shCfg := p.Shared.withDefaults()
+	net := flownet.New()
+	var sh *Shared
+	runners := make([]*runner, len(p.Tenants))
+	for i, t := range p.Tenants {
+		cfg := t.Config.withDefaults()
+		cfg.SSD = shCfg.SSD
+		cfg.HostCapacity = shCfg.HostCapacity
+		cfg.HostDRAMBandwidth = shCfg.HostDRAMBandwidth
+		tag := t.Tag
+		if tag == "" {
+			tag = fmt.Sprintf("gpu%d", i)
+		}
+		m := newTenantShell(t.Analysis, cfg, net, tag)
+		if i == 0 {
+			// Shared resources are registered after tenant 0's PCIe links
+			// so a one-tenant cluster's resource order — and with it
+			// flownet's bottleneck evaluation order — matches the
+			// single-machine path exactly.
+			var err error
+			sh, err = NewShared(net, shCfg)
+			if err != nil {
+				return ClusterResult{}, err
+			}
+		}
+		m.bind(sh, t.Policy)
+		r, err := newRunner(m, t.ExecTrace)
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("gpu: tenant %d (%s): %w", i, t.Analysis.Graph.Name, err)
+		}
+		runners[i] = r
+	}
+	if err := drive(net, runners); err != nil {
+		return ClusterResult{}, err
+	}
+	out := ClusterResult{Tenants: make([]Result, len(runners))}
+	for i, r := range runners {
+		out.Tenants[i] = r.result()
+		if d := units.Duration(r.doneAt); d > out.Makespan {
+			out.Makespan = d
+		}
+	}
+	out.SSDStats = sh.dev.Stats()
+	out.WriteAmp = sh.dev.WriteAmplification()
+	return out, nil
+}
+
+// drive schedules the tenants on one shared clock: step every live tenant
+// as far as it can go without consuming simulated time, then advance the
+// clock to the earliest pending event. Tenant order is fixed, so the
+// co-simulation is deterministic.
+func drive(net *flownet.Network, tenants []*runner) error {
+	// Global tensors seed in tenant order before the clock moves (their
+	// initial host/flash placement contends on the shared pool and array).
+	for _, r := range tenants {
+		if err := r.start(); err != nil {
+			return err
+		}
+	}
+	for {
+		next := units.Forever
+		live := false
+		for _, r := range tenants {
+			if r.phase == phaseDone {
+				continue
+			}
+			r.step()
+			if r.err != nil {
+				return r.err
+			}
+			switch r.phase {
+			case phaseDone:
+			case phaseExec:
+				live = true
+				next = units.MinTime(next, r.execEnd)
+			default:
+				live = true
+			}
+		}
+		if !live {
+			return nil
+		}
+		next = units.MinTime(next, net.NextEvent())
+		if next == units.Forever {
+			// Cannot happen: a waiting tenant always has in-flight
+			// migrations (otherwise step streams or fails it) and an
+			// executing tenant bounds next by its kernel end.
+			return fmt.Errorf("gpu: cluster stalled with no pending events")
+		}
+		advanceShared(net, tenants, next)
+	}
+}
+
+// advanceShared moves the shared clock to t, delivering each batch of flow
+// completions to its owning machines at the moment it lands and letting
+// every machine re-dispatch its metadata queues after each event — the
+// multi-tenant generalisation of the single-machine wait loop.
+func advanceShared(net *flownet.Network, tenants []*runner, t units.Time) {
+	net.AdvanceEventwise(t, func(done []*flownet.Flow) {
+		for _, f := range done {
+			deliver(f)
+		}
+		for _, r := range tenants {
+			r.m.dispatch()
+		}
+	})
+}

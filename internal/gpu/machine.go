@@ -13,7 +13,8 @@ import (
 
 // Policy is the migration decision-maker plugged into the machine. The G10
 // variants are almost entirely static (the instrumented program carries
-// their decisions); baselines are dynamic.
+// their decisions); baselines are dynamic. Policies carry per-run state, so
+// every machine — every tenant of a cluster — needs its own instance.
 type Policy interface {
 	Name() string
 	// Attach is called once before simulation begins.
@@ -35,6 +36,39 @@ type Policy interface {
 	// DirectFlash: SSD migrations bypass host software mediation
 	// (G10's extended UVM, FlashNeuron's GPUDirect Storage).
 	DirectFlash() bool
+}
+
+// Shared is the substrate a cluster's tenants contend on: one simulation
+// clock and flow network, one flash array behind one FTL, and one host
+// memory pool with its DRAM bus. A single-machine Run owns a private
+// Shared, so the one-tenant and N-tenant configurations execute identical
+// code paths.
+type Shared struct {
+	net  *flownet.Network
+	dev  *ssd.Device
+	host *uvm.MemPool
+
+	ssdRead, ssdWrite     *flownet.Resource
+	hostBusIn, hostBusOut *flownet.Resource
+}
+
+// NewShared builds the shared substrate from cfg's cross-tenant fields
+// (SSD, HostCapacity, HostDRAMBandwidth) on net. Resource-creation order is
+// the caller's: RunCluster registers tenant 0's PCIe links first so a
+// one-tenant cluster's flownet evaluation order matches the single-machine
+// path exactly.
+func NewShared(net *flownet.Network, cfg Config) (*Shared, error) {
+	cfg = cfg.withDefaults()
+	dev, err := ssd.New(cfg.SSD)
+	if err != nil {
+		return nil, fmt.Errorf("gpu: %w", err)
+	}
+	sh := &Shared{net: net, dev: dev, host: uvm.NewMemPool(cfg.HostCapacity)}
+	sh.ssdRead = net.AddResource("ssd-read", dev.EffectiveReadBandwidth())
+	sh.ssdWrite = net.AddResource("ssd-write", dev.EffectiveWriteBandwidth())
+	sh.hostBusIn = net.AddResource("hostmem-in", cfg.HostDRAMBandwidth)
+	sh.hostBusOut = net.AddResource("hostmem-out", cfg.HostDRAMBandwidth)
+	return sh, nil
 }
 
 // tensorState tracks one tensor's placement and any in-flight migration.
@@ -59,27 +93,34 @@ type tensorState struct {
 	lruPrev, lruNext int
 }
 
-// Machine is the simulated GPU/host/SSD system.
+// Machine is one simulated GPU system: a tenant of a Shared substrate. Its
+// PCIe link, migration metadata queues, page table, and TLB are private;
+// the clock, the flash array (seen through a per-tenant attribution view),
+// and host memory are the substrate's.
 type Machine struct {
 	cfg    Config
 	a      *vitality.Analysis
 	g      *dnn.Graph
 	pol    Policy
-	net    *flownet.Network
-	dev    *ssd.Device
+	sh     *Shared
+	net    *flownet.Network // == sh.net
+	dev    *ssd.Tenant      // attribution view on sh.dev
+	host   *uvm.MemPool     // == sh.host
 	pt     *uvm.PageTable
 	tlb    *uvm.TLB
 	queues uvm.Queues
 	arb    uvm.Arbiter
 
-	pcieIn, pcieOut    *flownet.Resource
-	ssdRead, ssdWrite  *flownet.Resource
-	hostBusIn, hostBus *flownet.Resource
+	pcieIn, pcieOut *flownet.Resource
 
-	states   []tensorState
-	gpuUsed  units.Bytes
-	hostUsed units.Bytes
-	ledger   traffic
+	states  []tensorState
+	gpuUsed units.Bytes
+	ledger  traffic
+
+	// inflight counts this machine's active or scheduled flows on the
+	// shared network; the step machine waits on the clock only while it is
+	// non-zero (otherwise nothing will ever unblock it).
+	inflight int
 
 	// Derived indexes, maintained incrementally at every state transition
 	// (track/untrack) instead of recomputed by O(tensors) scans:
@@ -111,10 +152,11 @@ type Machine struct {
 // chunk is one flow; evictions release GPU memory chunk by chunk and
 // fetches claim it chunk by chunk, the way page-group migrations do.
 type migration struct {
-	id   int
-	kind uvm.RequestKind
-	src  uvm.Location
-	dst  uvm.Location
+	owner *Machine // the tenant whose transfer this is
+	id    int
+	kind  uvm.RequestKind
+	src   uvm.Location
+	dst   uvm.Location
 	// size is the true tensor size; chunk the bytes of the flow currently
 	// in flight; moved the bytes already transferred. inflate models
 	// reduced effective throughput for on-demand or host-mediated paths.
@@ -130,30 +172,38 @@ type migration struct {
 	route []*flownet.Resource
 }
 
-// NewMachine builds the system around an analysis (graph + trace).
+// NewMachine builds a stand-alone system around an analysis (graph +
+// trace): a private network, flash device, and host pool of its own.
 func NewMachine(a *vitality.Analysis, pol Policy, cfg Config) (*Machine, error) {
 	cfg = cfg.withDefaults()
-	dev, err := ssd.New(cfg.SSD)
+	net := flownet.New()
+	m := newTenantShell(a, cfg, net, "")
+	sh, err := NewShared(net, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("gpu: %w", err)
+		return nil, err
 	}
+	m.bind(sh, pol)
+	return m, nil
+}
+
+// newTenantShell creates the machine struct, its tensor states, and its
+// private PCIe resources — everything except the shared substrate binding.
+func newTenantShell(a *vitality.Analysis, cfg Config, net *flownet.Network, tag string) *Machine {
 	m := &Machine{
 		cfg: cfg,
 		a:   a,
 		g:   a.Graph,
-		pol: pol,
-		net: flownet.New(),
-		dev: dev,
+		net: net,
 		pt:  uvm.MustNewPageTable(cfg.TranslationGranularity),
 		tlb: uvm.MustNewTLB(64, 8, cfg.TranslationGranularity),
 		arb: uvm.Arbiter{MaxBatchBytes: 256 * units.MB},
 	}
-	m.pcieIn = m.net.AddResource("pcie-in", cfg.PCIeBandwidth)
-	m.pcieOut = m.net.AddResource("pcie-out", cfg.PCIeBandwidth)
-	m.ssdRead = m.net.AddResource("ssd-read", dev.EffectiveReadBandwidth())
-	m.ssdWrite = m.net.AddResource("ssd-write", dev.EffectiveWriteBandwidth())
-	m.hostBusIn = m.net.AddResource("hostmem-in", cfg.HostDRAMBandwidth)
-	m.hostBus = m.net.AddResource("hostmem-out", cfg.HostDRAMBandwidth)
+	prefix := ""
+	if tag != "" {
+		prefix = tag + "/"
+	}
+	m.pcieIn = net.AddResource(prefix+"pcie-in", cfg.PCIeBandwidth)
+	m.pcieOut = net.AddResource(prefix+"pcie-out", cfg.PCIeBandwidth)
 
 	m.lruHead, m.lruTail = -1, -1
 	m.states = make([]tensorState, len(m.g.Tensors))
@@ -162,8 +212,16 @@ func NewMachine(a *vitality.Analysis, pol Policy, cfg Config) (*Machine, error) 
 		m.states[id] = tensorState{t: t, loc: uvm.Unmapped, va: va, lruPrev: -1, lruNext: -1}
 		va += uint64(m.pagesOf(t)) * uint64(cfg.TranslationGranularity)
 	}
+	return m
+}
+
+// bind attaches the machine to its substrate and policy.
+func (m *Machine) bind(sh *Shared, pol Policy) {
+	m.sh = sh
+	m.dev = sh.dev.Tenant()
+	m.host = sh.host
+	m.pol = pol
 	pol.Attach(m)
-	return m, nil
 }
 
 func (m *Machine) pagesOf(t *dnn.Tensor) int64 {
@@ -286,8 +344,9 @@ func (m *Machine) InFlight(id int) bool { return m.states[id].pend != nil }
 // GPUFree reports unreserved GPU memory.
 func (m *Machine) GPUFree() units.Bytes { return m.cfg.GPUCapacity - m.gpuUsed }
 
-// HostFree reports unreserved host memory.
-func (m *Machine) HostFree() units.Bytes { return m.cfg.HostCapacity - m.hostUsed }
+// HostFree reports unreserved host memory (shared across a cluster's
+// tenants).
+func (m *Machine) HostFree() units.Bytes { return m.host.Free() }
 
 // ResidentLRU lists GPU-resident tensors with no in-flight migration,
 // least recently used first. The list is maintained incrementally as
@@ -329,8 +388,7 @@ func (m *Machine) seed(id int) error {
 		return nil
 	}
 	size := st.t.Size
-	if m.hostUsed+size <= m.cfg.HostCapacity {
-		m.hostUsed += size
+	if m.host.Reserve(size) {
 		m.untrack(st)
 		st.loc = uvm.InHost
 		m.track(st)
@@ -345,6 +403,7 @@ func (m *Machine) seed(id int) error {
 	if _, err := m.dev.Write(rng); err != nil {
 		return fmt.Errorf("gpu: seeding %s: %w", st.t.Name, err)
 	}
+	m.refreshSSDWrite()
 	m.untrack(st)
 	st.loc = uvm.InFlash
 	m.track(st)
@@ -372,12 +431,12 @@ func (m *Machine) release(st *tensorState) {
 		if mig.kind == uvm.PreEvict {
 			m.gpuUsed -= mig.size - mig.moved // chunks still in GPU
 			if mig.dst == uvm.InHost {
-				m.hostUsed -= mig.size // reservation made at start
+				m.host.Release(mig.size) // reservation made at start
 			}
 		} else {
 			m.gpuUsed -= mig.moved + mig.chunk // chunks landed + reserved
 			if mig.src == uvm.InHost {
-				m.hostUsed -= mig.size
+				m.host.Release(mig.size)
 			}
 		}
 		st.mig = nil
@@ -397,7 +456,7 @@ func (m *Machine) release(st *tensorState) {
 	case uvm.InGPU:
 		m.gpuUsed -= st.t.Size
 	case uvm.InHost:
-		m.hostUsed -= st.t.Size
+		m.host.Release(st.t.Size)
 	}
 	if st.hasRng {
 		m.dev.Free(st.flash)
@@ -516,12 +575,12 @@ func (m *Machine) startFlow(r *uvm.Request, st *tensorState) bool {
 // beginMigration performs the once-per-tensor setup of a migration.
 func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, bool) {
 	size := st.t.Size
-	mig := &migration{id: r.TensorID, kind: r.Kind, src: r.Src, dst: r.Dst, size: size, inflate: 1, latency: m.cfg.DMALatency}
+	mig := &migration{owner: m, id: r.TensorID, kind: r.Kind, src: r.Src, dst: r.Dst, size: size, inflate: 1, latency: m.cfg.DMALatency}
 	mig.label = r.Kind.String() + ":" + st.t.Name
 
 	switch r.Kind {
 	case uvm.PreEvict:
-		if mig.dst == uvm.InHost && m.hostUsed+size > m.cfg.HostCapacity {
+		if mig.dst == uvm.InHost && !m.host.Reserve(size) {
 			mig.dst = uvm.InFlash // host full: fall back to the SSD
 		}
 		if mig.dst == uvm.InFlash {
@@ -539,8 +598,6 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 				mig.latency += m.cfg.HostMediationOverhead
 				mig.inflate = 1 / m.cfg.HostMediationEfficiency
 			}
-		} else {
-			m.hostUsed += size // reserve at start
 		}
 		r.Dst = mig.dst
 
@@ -580,23 +637,24 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 	return mig, true
 }
 
-// route returns the resources a migration's flows traverse.
+// route returns the resources a migration's flows traverse: this tenant's
+// PCIe link plus the substrate's shared SSD channels and host bus.
 func (m *Machine) route(mig *migration) []*flownet.Resource {
 	switch {
 	case mig.kind == uvm.PreEvict && mig.dst == uvm.InFlash:
 		if m.pol.DirectFlash() {
-			return []*flownet.Resource{m.pcieOut, m.ssdWrite}
+			return []*flownet.Resource{m.pcieOut, m.sh.ssdWrite}
 		}
-		return []*flownet.Resource{m.pcieOut, m.ssdWrite, m.hostBus}
+		return []*flownet.Resource{m.pcieOut, m.sh.ssdWrite, m.sh.hostBusOut}
 	case mig.kind == uvm.PreEvict:
-		return []*flownet.Resource{m.pcieOut, m.hostBus}
+		return []*flownet.Resource{m.pcieOut, m.sh.hostBusOut}
 	case mig.src == uvm.InFlash:
 		if m.pol.DirectFlash() {
-			return []*flownet.Resource{m.ssdRead, m.pcieIn}
+			return []*flownet.Resource{m.sh.ssdRead, m.pcieIn}
 		}
-		return []*flownet.Resource{m.ssdRead, m.pcieIn, m.hostBusIn}
+		return []*flownet.Resource{m.sh.ssdRead, m.pcieIn, m.sh.hostBusIn}
 	default:
-		return []*flownet.Resource{m.hostBusIn, m.pcieIn}
+		return []*flownet.Resource{m.sh.hostBusIn, m.pcieIn}
 	}
 }
 
@@ -621,8 +679,16 @@ func (m *Machine) startChunk(st *tensorState) bool {
 	mig.latency = 0 // only the first chunk pays setup latency
 	m.untrack(st)
 	st.fly = m.net.StartAt(mig.label, flowBytes, m.Now()+lat, mig, mig.route...)
+	m.inflight++
 	m.track(st)
 	return true
+}
+
+// refreshSSDWrite re-derives the shared ssd-write channel capacity after a
+// device write: GC triggered by any tenant degrades the array's sustained
+// write bandwidth for every tenant. Call after every dev.Write site.
+func (m *Machine) refreshSSDWrite() {
+	m.net.SetCapacity(m.sh.ssdWrite, m.dev.EffectiveWriteBandwidth())
 }
 
 func (m *Machine) fail(reason string) {
@@ -630,6 +696,20 @@ func (m *Machine) fail(reason string) {
 		m.failed = true
 		m.failReason = reason
 	}
+}
+
+// deliver hands a completed flow back to the machine that started it.
+func deliver(f *flownet.Flow) {
+	if mig, ok := f.Data.(*migration); ok {
+		mig.owner.complete(f)
+	}
+}
+
+// complete accounts a finished flow of this machine and advances its
+// migration.
+func (m *Machine) complete(f *flownet.Flow) {
+	m.inflight--
+	m.onComplete(f)
 }
 
 // onComplete advances a migration when one of its chunk flows finishes:
@@ -693,15 +773,14 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 				m.track(st)
 				return
 			}
-			// GC activity degrades sustained write bandwidth.
-			m.net.SetCapacity(m.ssdWrite, m.dev.EffectiveWriteBandwidth())
+			m.refreshSSDWrite()
 			m.pt.MapRange(st.va, pages, uvm.InFlash, uint64(st.flash.Start))
 		} else {
 			m.pt.MapRange(st.va, pages, uvm.InHost, st.va>>21)
 		}
 	case uvm.Prefetch, uvm.FaultFetch:
 		if mig.src == uvm.InHost {
-			m.hostUsed -= mig.size
+			m.host.Release(mig.size)
 		}
 		st.loc = uvm.InGPU
 		st.lastUse = m.Now()
@@ -741,11 +820,16 @@ func (m *Machine) cancelStalledFetches(pinned map[int]bool) units.Bytes {
 	return freed
 }
 
-// advanceTo moves simulated time forward, completing flows on the way.
+// advanceTo moves simulated time forward, delivering flow completions at
+// the moment they land (a test helper; production runs are advanced by the
+// drivers in cluster.go, which use the same event-wise semantics).
 func (m *Machine) advanceTo(t units.Time) {
-	for _, f := range m.net.AdvanceTo(t) {
-		m.onComplete(f)
-	}
+	m.net.AdvanceEventwise(t, func(done []*flownet.Flow) {
+		for _, f := range done {
+			deliver(f)
+		}
+		m.dispatch()
+	})
 	m.dispatch()
 }
 

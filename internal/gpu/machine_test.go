@@ -229,8 +229,8 @@ func TestFreeDuringMigrationUnwinds(t *testing.T) {
 	if m.gpuUsed != 0 { // the weight is never seeded in this direct-machine test
 		t.Errorf("gpuUsed = %v, want 0", m.gpuUsed)
 	}
-	if m.hostUsed != 0 {
-		t.Errorf("hostUsed = %v, want 0", m.hostUsed)
+	if m.host.Used() != 0 {
+		t.Errorf("host pool used = %v, want 0", m.host.Used())
 	}
 }
 
@@ -307,7 +307,7 @@ func TestGCDegradesSSDWriteCapacity(t *testing.T) {
 	sc.OverProvision = 0.08
 	cfg.SSD = sc
 	m, ids := twoTensorMachine(t, cfg)
-	before := m.ssdWrite.Capacity()
+	before := m.sh.ssdWrite.Capacity()
 	// Repeated evict/fetch cycles of A (100MB on a 256MB device).
 	for cycle := 0; cycle < 8; cycle++ {
 		m.alloc(ids["A"])
@@ -326,7 +326,7 @@ func TestGCDegradesSSDWriteCapacity(t *testing.T) {
 		m.free(ids["A"])
 		m.states[ids["A"]].loc = uvm.Unmapped
 	}
-	after := m.ssdWrite.Capacity()
+	after := m.sh.ssdWrite.Capacity()
 	if after > before {
 		t.Errorf("SSD write capacity rose: %v -> %v", before, after)
 	}

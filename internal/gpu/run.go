@@ -37,39 +37,59 @@ type RunParams struct {
 	ExecTrace *profile.Trace
 }
 
-// Run simulates the workload and returns the measured-iteration result.
+// Run simulates the workload alone — a one-tenant drive of the same
+// resumable step machine the cluster scheduler advances (see cluster.go) —
+// and returns the measured-iteration result.
 func Run(p RunParams) (Result, error) {
-	cfg := p.Config.withDefaults()
-	a := p.Analysis
-	exec := p.ExecTrace
-	if exec == nil {
-		exec = a.Trace
-	}
-	if len(exec.Durations) != len(a.Graph.Kernels) {
-		return Result{}, fmt.Errorf("gpu: exec trace has %d kernels, graph has %d",
-			len(exec.Durations), len(a.Graph.Kernels))
-	}
-	var program *planner.Program
-	if pb, ok := p.Policy.(ProgramBuilder); ok {
-		program = pb.Program(a, cfg)
-	}
-	if program == nil {
-		program = planner.EmptyProgram(a)
-	}
-
-	m, err := NewMachine(a, p.Policy, cfg)
+	m, err := NewMachine(p.Analysis, p.Policy, p.Config.withDefaults())
 	if err != nil {
 		return Result{}, err
 	}
-	r := &runner{m: m, cfg: cfg, program: program, exec: exec}
-	return r.run()
+	r, err := newRunner(m, p.ExecTrace)
+	if err != nil {
+		return Result{}, err
+	}
+	err = drive(m.net, []*runner{r})
+	return r.result(), err
 }
 
+// stepPhase is the explicit state of a tenant's resumable step machine.
+type stepPhase int
+
+const (
+	// phaseBoundary: about to run the program's instrumentation at
+	// boundary (iter, k); k == len(kernels) is the iteration-closing
+	// boundary.
+	phaseBoundary stepPhase = iota
+	// phaseWait: boundary done; assembling kernel k's working set.
+	phaseWait
+	// phaseExec: kernel k executes until the shared clock reaches execEnd.
+	phaseExec
+	// phaseDone: the run completed, failed, or errored.
+	phaseDone
+)
+
+// runner is one tenant: a resumable step machine that replays its workload
+// on a Machine whose clock a driver — Run's single-tenant loop or the
+// cluster scheduler — advances. step never consumes simulated time; it runs
+// the tenant to the point where only the clock can unblock it.
 type runner struct {
 	m       *Machine
 	cfg     Config
 	program *planner.Program
 	exec    *profile.Trace
+
+	phase   stepPhase
+	iter, k int
+	// execEnd is when the executing kernel finishes (phaseExec only).
+	execEnd units.Time
+	// checkFail mirrors the original blocking loop's control flow: machine
+	// failure is noticed after each wait on the network, not before the
+	// first working-set scan.
+	checkFail bool
+	// doneAt is the clock value when the tenant reached phaseDone.
+	doneAt units.Time
+	err    error
 
 	// Measured-iteration snapshots.
 	iterStart    units.Time
@@ -85,43 +105,93 @@ type runner struct {
 	pinned map[int]bool
 }
 
-func (r *runner) run() (Result, error) {
-	m := r.m
-	n := len(m.g.Kernels)
+// newRunner validates the exec trace, builds the policy's instrumented
+// program, and wraps machine m as a resumable tenant.
+func newRunner(m *Machine, exec *profile.Trace) (*runner, error) {
+	a := m.a
+	if exec == nil {
+		exec = a.Trace
+	}
+	if len(exec.Durations) != len(a.Graph.Kernels) {
+		return nil, fmt.Errorf("gpu: exec trace has %d kernels, graph has %d",
+			len(exec.Durations), len(a.Graph.Kernels))
+	}
+	var program *planner.Program
+	if pb, ok := m.pol.(ProgramBuilder); ok {
+		program = pb.Program(a, m.cfg)
+	}
+	if program == nil {
+		program = planner.EmptyProgram(a)
+	}
+	return &runner{m: m, cfg: m.cfg, program: program, exec: exec}, nil
+}
 
-	// Global (weight) tensors are allocated in the unified space at
-	// program start; those that do not fit in GPU memory start in host
-	// memory (or flash), exactly as a first-touch UVM program would find
-	// them.
-	for id, t := range m.g.Tensors {
+// start seeds global (weight) tensors into the unified space — those that
+// do not fit in GPU memory start in host memory or flash, exactly as a
+// first-touch UVM program would find them. Called once before stepping.
+func (r *runner) start() error {
+	for id, t := range r.m.g.Tensors {
 		if t.Kind != dnn.Global {
 			continue
 		}
-		if err := m.seed(id); err != nil {
-			return Result{}, err
+		if err := r.m.seed(id); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	for iter := 0; iter < r.cfg.Iterations; iter++ {
-		last := iter == r.cfg.Iterations-1
-		if last {
-			r.beginMeasurement()
-		}
-		for k := 0; k < n; k++ {
-			r.boundary(iter, k)
-			if err := r.kernel(iter, k, last); err != nil {
-				return r.result(), err
+// step advances the tenant as far as it can go without consuming simulated
+// time: it stops when the run finishes, when the tenant is executing a
+// kernel (waiting for the clock to reach execEnd), or when it is blocked on
+// its in-flight migrations (waiting for a network event).
+func (r *runner) step() {
+	m := r.m
+	n := len(m.g.Kernels)
+	for {
+		switch r.phase {
+		case phaseDone:
+			return
+		case phaseBoundary:
+			if r.k == 0 && r.iter == r.cfg.Iterations-1 {
+				r.beginMeasurement()
 			}
+			r.boundary(r.iter, r.k)
+			if r.k == n { // iteration-closing boundary
+				r.iter++
+				r.k = 0
+				if r.iter == r.cfg.Iterations {
+					r.finish()
+					return
+				}
+				continue
+			}
+			r.beginWait()
+		case phaseWait:
+			if !r.stepWait() {
+				return // blocked on a network event
+			}
+		case phaseExec:
+			if m.Now() < r.execEnd {
+				return // still executing; the driver advances the clock
+			}
+			if r.measuredIter {
+				r.kernelEnds = append(r.kernelEnds, m.Now())
+			}
+			r.k++
+			r.phase = phaseBoundary
 			if m.failed {
-				res := r.result()
-				res.Failed = true
-				res.FailReason = m.failReason
-				return res, nil
+				r.finish()
+				return
 			}
 		}
-		r.boundary(iter, n)
 	}
-	return r.result(), nil
+}
+
+// finish marks the run complete at the current clock.
+func (r *runner) finish() {
+	r.phase = phaseDone
+	r.doneAt = r.m.Now()
 }
 
 func (r *runner) beginMeasurement() {
@@ -157,75 +227,41 @@ func (r *runner) boundary(iter, b int) {
 	m.pol.AtBoundary(iter, b)
 }
 
-// kernel waits for kernel k's working set and executes it.
-func (r *runner) kernel(iter, k int, measured bool) error {
-	m := r.m
-	kern := m.g.Kernels[k]
-	penalty, err := r.ensureWorkingSet(k, kern)
-	if err != nil {
-		return err
-	}
-	if m.failed {
-		return nil
-	}
-
-	// Touch for LRU and model the translation lookups (the accumulated
-	// walk penalty is reported as a statistic; at 4KB-page × 600ns it is
-	// negligible against kernel durations and is not charged to time).
-	for _, t := range kern.Tensors() {
-		m.touch(t.ID)
-	}
-	dur := r.exec.Durations[k] + penalty
-	m.advanceTo(m.Now() + dur)
-	if measured {
-		r.kernelEnds = append(r.kernelEnds, m.Now())
-	}
-	return nil
-}
-
-// ensureWorkingSet blocks until every tensor of kernel k is resident,
-// driving allocation, demand fetches, and policy evictions. When the
-// working set cannot fit at all it returns the overflow streaming penalty
-// (UVM policies) or fails the run (non-UVM).
-func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, error) {
-	m := r.m
-	tensors := kern.Tensors()
+// beginWait pins kernel k's working set and enters the assembly phase.
+func (r *runner) beginWait() {
+	tensors := r.m.g.Kernels[r.k].Tensors()
 	if r.pinned == nil {
 		r.pinned = make(map[int]bool, len(tensors))
 	} else {
 		clear(r.pinned)
 	}
-	pinned := r.pinned
 	for _, t := range tensors {
-		pinned[t.ID] = true
+		r.pinned[t.ID] = true
 	}
+	r.checkFail = false
+	r.phase = phaseWait
+}
 
+// stepWait runs the working-set assembly loop until the kernel can start,
+// the run fails, or the tenant must wait for one of its migrations.
+// Reports false in the waiting case (the caller returns to the driver) and
+// true when the phase advanced.
+func (r *runner) stepWait() bool {
+	m := r.m
+	kern := m.g.Kernels[r.k]
 	for {
-		ready := true
-		var allocDeficit units.Bytes
-		for _, t := range tensors {
-			st := &m.states[t.ID]
-			switch {
-			case st.loc == uvm.InGPU && st.fly == nil:
-				if st.pend != nil && st.pend.Kind == uvm.PreEvict {
-					m.clearPend(st) // cancel a queued eviction of a needed tensor
-				}
-			case st.loc == uvm.InGPU: // eviction in flight; must drain first
-				ready = false
-			case st.loc == uvm.Unmapped:
-				if !m.alloc(t.ID) {
-					ready = false
-					allocDeficit += t.Size
-				}
-			default: // InHost or InFlash
-				ready = false
-				if st.pend == nil {
-					m.pol.OnMiss(k, t)
-				}
+		if r.checkFail {
+			// Resume point after a network wait.
+			r.checkFail = false
+			if m.failed {
+				r.finish()
+				return true
 			}
 		}
+		ready, allocDeficit := r.scanWorkingSet(kern)
 		if ready {
-			return 0, nil
+			r.startExec(kern, 0)
+			return true
 		}
 
 		// Ask the policy to free memory beyond what in-flight evictions
@@ -234,24 +270,79 @@ func (r *runner) ensureWorkingSet(k int, kern *dnn.Kernel) (units.Duration, erro
 		// wait iteration instead of a scan over every tensor state.
 		deficit := allocDeficit + m.pendFetchBytes - m.GPUFree() - m.evictPendBytes
 		if deficit > 0 {
-			m.pol.MakeRoom(deficit, pinned)
+			m.pol.MakeRoom(deficit, r.pinned)
 			m.dispatch()
 		}
 
-		if !m.waitNext() {
-			// Nothing in flight and still blocked. Partially landed
-			// fetches for other kernels may be wedging memory; roll them
-			// back before declaring the working set unfittable.
-			if m.cancelStalledFetches(pinned) > 0 {
-				m.dispatch()
-				continue
-			}
-			return r.streamOverflow(kern, pinned)
+		if m.inflight > 0 {
+			// Migrations are flying; resume after the next network event.
+			r.checkFail = true
+			return false
+		}
+		// Nothing of ours in flight and still blocked. Partially landed
+		// fetches for other kernels may be wedging memory; roll them back
+		// before declaring the working set unfittable.
+		if m.cancelStalledFetches(r.pinned) > 0 {
+			m.dispatch()
+			continue
+		}
+		penalty, err := r.streamOverflow(kern, r.pinned)
+		if err != nil {
+			r.err = err
+			r.finish()
+			return true
 		}
 		if m.failed {
-			return 0, nil
+			r.finish()
+			return true
+		}
+		r.startExec(kern, penalty)
+		return true
+	}
+}
+
+// scanWorkingSet checks kernel k's tensors, driving allocation and demand
+// fetches (via the policy's OnMiss) and cancelling queued evictions of
+// needed tensors. It reports readiness and the bytes of denied allocations.
+func (r *runner) scanWorkingSet(kern *dnn.Kernel) (bool, units.Bytes) {
+	m := r.m
+	ready := true
+	var allocDeficit units.Bytes
+	for _, t := range kern.Tensors() {
+		st := &m.states[t.ID]
+		switch {
+		case st.loc == uvm.InGPU && st.fly == nil:
+			if st.pend != nil && st.pend.Kind == uvm.PreEvict {
+				m.clearPend(st) // cancel a queued eviction of a needed tensor
+			}
+		case st.loc == uvm.InGPU: // eviction in flight; must drain first
+			ready = false
+		case st.loc == uvm.Unmapped:
+			if !m.alloc(t.ID) {
+				ready = false
+				allocDeficit += t.Size
+			}
+		default: // InHost or InFlash
+			ready = false
+			if st.pend == nil {
+				m.pol.OnMiss(r.k, t)
+			}
 		}
 	}
+	return ready, allocDeficit
+}
+
+// startExec launches kernel k: touch its tensors for LRU and the
+// translation model (the accumulated walk penalty is reported as a
+// statistic; at 4KB-page × 600ns it is negligible against kernel durations
+// and is not charged to time), then run until execEnd on the shared clock.
+func (r *runner) startExec(kern *dnn.Kernel, penalty units.Duration) {
+	m := r.m
+	for _, t := range kern.Tensors() {
+		m.touch(t.ID)
+	}
+	r.execEnd = m.Now() + r.exec.Durations[r.k] + penalty
+	r.phase = phaseExec
 }
 
 // streamOverflow models a kernel whose working set exceeds GPU memory.
@@ -288,8 +379,7 @@ func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Du
 		if st.loc != uvm.Unmapped {
 			continue
 		}
-		if m.hostUsed+t.Size <= m.cfg.HostCapacity {
-			m.hostUsed += t.Size
+		if m.host.Reserve(t.Size) {
 			m.untrack(st)
 			st.loc = uvm.InHost
 			m.track(st)
@@ -304,6 +394,7 @@ func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Du
 			if _, err := m.dev.Write(rng); err != nil {
 				return 0, fmt.Errorf("gpu: overflow spill: %w", err)
 			}
+			m.refreshSSDWrite()
 			m.untrack(st)
 			st.loc = uvm.InFlash
 			m.track(st)
@@ -382,6 +473,8 @@ func (r *runner) result() Result {
 	res.SSDStats = m.dev.Stats()
 	res.WriteAmp = m.dev.WriteAmplification()
 	res.TLBHitRate = m.tlb.HitRate()
+	res.Failed = m.failed
+	res.FailReason = m.failReason
 	return res
 }
 

@@ -66,6 +66,20 @@ func ZNAND() Config {
 	}
 }
 
+// Array returns the configuration of an n-drive array of this device:
+// aggregate bandwidth and capacity scale linearly (the §6 sharing model).
+// n <= 1 returns the single-drive config unchanged.
+func (c Config) Array(n int) Config {
+	if n <= 1 {
+		return c
+	}
+	scale := float64(n)
+	c.ReadBandwidth = units.Bandwidth(float64(c.ReadBandwidth) * scale)
+	c.WriteBandwidth = units.Bandwidth(float64(c.WriteBandwidth) * scale)
+	c.Capacity = units.Bytes(float64(c.Capacity) * scale)
+	return c
+}
+
 func (c Config) withDefaults() Config {
 	if c.Channels <= 0 {
 		c.Channels = 8

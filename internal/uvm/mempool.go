@@ -1,0 +1,50 @@
+package uvm
+
+import (
+	"fmt"
+
+	"g10sim/internal/units"
+)
+
+// MemPool is a capacity arbiter over one host memory: every tenant of a
+// cluster reserves staging space from the same pool, so a job that parks
+// large working sets in host DRAM genuinely starves its neighbours (their
+// evictions fall back to flash), which a statically divided capacity cannot
+// model. A single-machine simulation owns a private pool, making the two
+// configurations behave identically at one tenant.
+type MemPool struct {
+	capacity units.Bytes
+	used     units.Bytes
+}
+
+// NewMemPool builds a pool of the given capacity.
+func NewMemPool(capacity units.Bytes) *MemPool {
+	return &MemPool{capacity: capacity}
+}
+
+// Reserve claims n bytes; it reports false (claiming nothing) when the pool
+// cannot hold them.
+func (p *MemPool) Reserve(n units.Bytes) bool {
+	if n < 0 || p.used+n > p.capacity {
+		return false
+	}
+	p.used += n
+	return true
+}
+
+// Release returns n previously reserved bytes to the pool.
+func (p *MemPool) Release(n units.Bytes) {
+	if n < 0 || n > p.used {
+		panic(fmt.Sprintf("uvm: releasing %v from a pool holding %v", n, p.used))
+	}
+	p.used -= n
+}
+
+// Capacity reports the pool size.
+func (p *MemPool) Capacity() units.Bytes { return p.capacity }
+
+// Used reports the reserved bytes.
+func (p *MemPool) Used() units.Bytes { return p.used }
+
+// Free reports the unreserved bytes.
+func (p *MemPool) Free() units.Bytes { return p.capacity - p.used }

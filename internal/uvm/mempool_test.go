@@ -1,0 +1,54 @@
+package uvm
+
+import (
+	"testing"
+
+	"g10sim/internal/units"
+)
+
+func TestMemPoolReserveRelease(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	if !p.Reserve(60 * units.MB) {
+		t.Fatal("reserve 60MB failed")
+	}
+	if p.Reserve(50 * units.MB) {
+		t.Error("over-capacity reserve succeeded")
+	}
+	if p.Used() != 60*units.MB || p.Free() != 40*units.MB {
+		t.Errorf("used/free = %v/%v", p.Used(), p.Free())
+	}
+	if !p.Reserve(40 * units.MB) {
+		t.Error("exact-fit reserve failed")
+	}
+	p.Release(100 * units.MB)
+	if p.Used() != 0 {
+		t.Errorf("used = %v after full release", p.Used())
+	}
+	if p.Capacity() != 100*units.MB {
+		t.Errorf("capacity = %v", p.Capacity())
+	}
+}
+
+func TestMemPoolSharedContention(t *testing.T) {
+	// Two tenants draw from one pool: what one holds, the other cannot take.
+	p := NewMemPool(100 * units.MB)
+	if !p.Reserve(80 * units.MB) { // tenant A
+		t.Fatal("A reserve failed")
+	}
+	if p.Reserve(30 * units.MB) { // tenant B must be refused
+		t.Error("B reserved past shared capacity")
+	}
+	p.Release(80 * units.MB) // A frees
+	if !p.Reserve(30 * units.MB) {
+		t.Error("B refused after A released")
+	}
+}
+
+func TestMemPoolReleasePanicsOnUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("underflow release did not panic")
+		}
+	}()
+	NewMemPool(units.MB).Release(1)
+}
