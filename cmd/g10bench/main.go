@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -46,6 +48,7 @@ var figures = []struct {
 	{"lifetime", wrap(experiments.SSDLifetime)},
 	{"multigpu", wrap(experiments.MultiGPU)},
 	{"colocate", wrap(experiments.Colocate)},
+	{"fleet", wrap(experiments.Fleet)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -73,32 +76,81 @@ type benchReport struct {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate, or 'all'")
-		short    = flag.Bool("short", false, "shrunken workloads for a fast pass")
-		models   = flag.String("models", "", "comma-separated model subset (default: all five)")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
-		jsonPath = flag.String("json", "", "write per-figure timings as JSON (BENCH_*.json perf-trajectory format) to this path")
+		fig        = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate,fleet, or 'all'")
+		short      = flag.Bool("short", false, "shrunken workloads for a fast pass")
+		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
+		jsonPath   = flag.String("json", "", "write per-figure timings as JSON (BENCH_*.json perf-trajectory format) to this path")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the figure runs) to this path")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Short: *short, W: os.Stdout, Workers: *workers}
-	if *models != "" {
-		opt.Models = strings.Split(*models, ",")
+	// Profiles bracket the figure runs; run() returns instead of exiting so
+	// the deferred profile writers always flush (pprof evidence survives a
+	// failed figure too). The exiting defer is registered first — defers
+	// unwind LIFO, so the profiles are stopped and written before os.Exit.
+	failed := false
+	defer func() {
+		if failed {
+			os.Exit(1)
+		}
+	}()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "g10bench: creating %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "g10bench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "g10bench: creating %s: %v\n", *memProfile, err)
+				failed = true
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "g10bench: writing heap profile: %v\n", err)
+				failed = true
+			}
+		}()
+	}
+
+	if err := run(*fig, *short, *models, *workers, *jsonPath); err != nil {
+		fmt.Fprintf(os.Stderr, "g10bench: %v\n", err)
+		failed = true
+	}
+}
+
+func run(fig string, short bool, models string, workers int, jsonPath string) error {
+	opt := experiments.Options{Short: short, W: os.Stdout, Workers: workers}
+	if models != "" {
+		opt.Models = strings.Split(models, ",")
 	}
 	s := experiments.NewSession(opt)
 
 	want := map[string]bool{}
-	if *fig == "all" {
+	if fig == "all" {
 		for _, f := range figures {
 			want[f.name] = true
 		}
 	} else {
-		for _, f := range strings.Split(*fig, ",") {
+		for _, f := range strings.Split(fig, ",") {
 			want[strings.TrimSpace(f)] = true
 		}
 	}
 
-	report := benchReport{Suite: "g10bench-figures", Short: *short, Models: opt.Models}
+	report := benchReport{Suite: "g10bench-figures", Short: short, Models: opt.Models}
 	ran := 0
 	for _, f := range figures {
 		if !want[f.name] {
@@ -106,8 +158,7 @@ func main() {
 		}
 		t0 := time.Now()
 		if err := f.run(s); err != nil {
-			fmt.Fprintf(os.Stderr, "g10bench: figure %s: %v\n", f.name, err)
-			os.Exit(1)
+			return fmt.Errorf("figure %s: %w", f.name, err)
 		}
 		elapsed := time.Since(t0)
 		fmt.Printf("\n[figure %s regenerated in %v]\n\n", f.name, elapsed.Round(time.Millisecond))
@@ -116,19 +167,17 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "g10bench: no figure matched %q\n", *fig)
-		os.Exit(1)
+		return fmt.Errorf("no figure matched %q", fig)
 	}
-	if *jsonPath != "" {
+	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "g10bench: encoding %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return fmt.Errorf("encoding %s: %w", jsonPath, err)
 		}
 		data = append(data, '\n')
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "g10bench: writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonPath, err)
 		}
 	}
+	return nil
 }

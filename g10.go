@@ -217,6 +217,11 @@ func reportFrom(res gpu.Result, icfg gpu.Config) Report {
 type ClusterJob struct {
 	Workload *Workload
 	Policy   string
+	// ArrivalSeconds admits the job mid-simulation: it joins the shared
+	// substrate when the cluster clock reaches this value (0 = present
+	// from the start), seeding its weights into whatever host and flash
+	// space the already-running jobs have left.
+	ArrivalSeconds float64
 }
 
 // ClusterConfig sizes a co-simulation. The embedded Config's per-GPU fields
@@ -230,11 +235,20 @@ type ClusterConfig struct {
 	SSDs int
 }
 
+// JobSpan is one job's admission and completion times on the cluster
+// clock.
+type JobSpan struct {
+	ArrivalSeconds float64
+	FinishSeconds  float64
+}
+
 // ClusterReport is the outcome of one co-simulation.
 type ClusterReport struct {
 	// Jobs holds each tenant's report in input order. A job's SSD traffic
 	// and write amplification are its attributed share of the shared array.
 	Jobs []Report
+	// Spans holds each job's arrival and finish times in input order.
+	Spans []JobSpan
 
 	// MakespanSeconds is when the last job finished.
 	MakespanSeconds float64
@@ -265,10 +279,11 @@ func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, erro
 			return ClusterReport{}, err
 		}
 		tenants[i] = gpu.ClusterTenant{
-			Analysis: j.Workload.analysis,
-			Policy:   pol,
-			Config:   tenantConfig(shared, j.Policy),
-			Tag:      fmt.Sprintf("gpu%d", i),
+			Analysis:    j.Workload.analysis,
+			Policy:      pol,
+			Config:      tenantConfig(shared, j.Policy),
+			Tag:         fmt.Sprintf("gpu%d", i),
+			ArrivalTime: units.Time(j.ArrivalSeconds * float64(units.Second)),
 		}
 	}
 	cres, err := gpu.RunCluster(gpu.ClusterParams{Tenants: tenants, Shared: shared})
@@ -277,12 +292,17 @@ func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, erro
 	}
 	out := ClusterReport{
 		Jobs:                    make([]Report, len(cres.Tenants)),
+		Spans:                   make([]JobSpan, len(cres.Tenants)),
 		MakespanSeconds:         cres.Makespan.Seconds(),
 		ArrayWriteGB:            cres.SSDStats.HostWriteBytes.GiB(),
 		ArrayWriteAmplification: cres.WriteAmp,
 	}
 	for i, res := range cres.Tenants {
 		out.Jobs[i] = reportFrom(res, shared)
+		out.Spans[i] = JobSpan{
+			ArrivalSeconds: cres.Spans[i].Arrival.Seconds(),
+			FinishSeconds:  cres.Spans[i].Finish.Seconds(),
+		}
 		out.AggregateThroughput += out.Jobs[i].Throughput
 	}
 	return out, nil

@@ -96,6 +96,7 @@ type Session struct {
 	analyses map[string]*flight[*vitality.Analysis]
 	results  map[string]*flight[gpu.Result]
 	clusters map[string]*flight[gpu.ClusterResult]
+	programs map[programKey]*flight[*planner.Program]
 }
 
 // NewSession builds a session.
@@ -105,7 +106,58 @@ func NewSession(opt Options) *Session {
 		analyses: make(map[string]*flight[*vitality.Analysis]),
 		results:  make(map[string]*flight[gpu.Result]),
 		clusters: make(map[string]*flight[gpu.ClusterResult]),
+		programs: make(map[programKey]*flight[*planner.Program]),
 	}
+}
+
+// programKey identifies one planner run: the analysis (cached per
+// model/batch, so pointer identity is stable within a session), the
+// effective machine configuration the program was planned against, and the
+// policy variant.
+type programKey struct {
+	a   *vitality.Analysis
+	cfg gpu.Config
+	pol string
+}
+
+// cachedProgramPolicy wraps a planning policy (a G10 variant) so its
+// instrumented program is computed once per (analysis, config, policy)
+// across a whole cluster — a 64-tenant fleet cell re-plans each distinct
+// job once instead of once per tenant, and identical jobs across cluster
+// configurations share the warm program. The planner is deterministic, so
+// the shared *planner.Program is bit-identical to a per-tenant build; it is
+// read-only during simulation.
+type cachedProgramPolicy struct {
+	gpu.Policy
+	s *Session
+}
+
+func (c *cachedProgramPolicy) Program(a *vitality.Analysis, cfg gpu.Config) *planner.Program {
+	pb := c.Policy.(gpu.ProgramBuilder)
+	key := programKey{a: a, cfg: cfg, pol: c.Policy.Name()}
+	s := c.s
+	s.mu.Lock()
+	f, ok := s.programs[key]
+	if !ok {
+		f = &flight[*planner.Program]{}
+		s.programs[key] = f
+	}
+	s.mu.Unlock()
+	p, _ := f.do(func() (*planner.Program, error) { return pb.Program(a, cfg), nil })
+	return p
+}
+
+// clusterPolicy builds a fresh per-tenant policy instance whose planner
+// output is shared through the session's program cache.
+func (s *Session) clusterPolicy(name string) (gpu.Policy, error) {
+	pol, err := NewPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := pol.(gpu.ProgramBuilder); ok {
+		return &cachedProgramPolicy{Policy: pol, s: s}, nil
+	}
+	return pol, nil
 }
 
 // batchFor reports the evaluation batch size for a model under the
@@ -142,19 +194,30 @@ func (s *Session) Analysis(model string, batch int) (*vitality.Analysis, error) 
 // baseConfig is the Table 2 system, scaled down against the workload's
 // memory demand in Short mode so that the same pressure dynamics appear.
 func (s *Session) baseConfig(a *vitality.Analysis) gpu.Config {
-	cfg := gpu.Default()
 	if s.opt.Short {
-		cap := units.Bytes(float64(a.PeakAlive()) * 0.55)
-		if min := a.PeakActive() + a.PeakActive()/4; cap < min {
-			cap = min
-		}
-		cfg.GPUCapacity = cap
-		cfg.HostCapacity = cap * 3
-		ssdCfg := cfg.SSD
-		ssdCfg.Capacity = 64 * units.GB
-		ssdCfg.PageSize = 256 * units.KB
-		cfg.SSD = ssdCfg
+		return scaledConfig(a)
 	}
+	return gpu.Default()
+}
+
+// scaledConfig shrinks the Table 2 system against one workload's memory
+// demand: GPU capacity a fixed fraction of the no-migration peak (but
+// always fitting the largest working set), host memory a small multiple of
+// that, and a smaller flash array. Short mode uses it for every figure;
+// the fleet study uses it at any scope so a 64-tenant co-simulation stays
+// tractable while showing the same pressure dynamics.
+func scaledConfig(a *vitality.Analysis) gpu.Config {
+	cfg := gpu.Default()
+	cap := units.Bytes(float64(a.PeakAlive()) * 0.55)
+	if min := a.PeakActive() + a.PeakActive()/4; cap < min {
+		cap = min
+	}
+	cfg.GPUCapacity = cap
+	cfg.HostCapacity = cap * 3
+	ssdCfg := cfg.SSD
+	ssdCfg.Capacity = 64 * units.GB
+	ssdCfg.PageSize = 256 * units.KB
+	cfg.SSD = ssdCfg
 	return cfg
 }
 

@@ -32,6 +32,12 @@ type Resource struct {
 	// scratch fields used by the allocator.
 	avail float64
 	count int
+	// regIdx is the registration order; the busy-resource list is sorted by
+	// it so bottleneck ties resolve exactly as a scan over every registered
+	// resource would.
+	regIdx int
+	// busyStamp marks membership in the current recompute's busy list.
+	busyStamp uint64
 }
 
 // Capacity reports the resource's current bandwidth.
@@ -45,6 +51,10 @@ type Flow struct {
 	Size units.Bytes
 	// Data is an arbitrary caller payload carried to completion handling.
 	Data any
+	// Owner tags the flow with the index of the tenant (cluster machine)
+	// that started it, so event-driven schedulers can wake exactly the
+	// tenants a completion batch affects. -1 when unowned.
+	Owner int
 	// StartAt is when the flow becomes active (creation time plus any
 	// device latency the caller modeled).
 	StartAt units.Time
@@ -58,6 +68,14 @@ type Flow struct {
 	done      bool
 	heapIdx   int
 	frozen    bool // allocator scratch
+	// prevRate is the rate before the current recompute; the completion
+	// index re-keys a flow only when its rate actually changed.
+	prevRate float64
+	// compGen identifies this flow's current completion-heap entry; stale
+	// entries (older generations, or entries of completed flows) are
+	// discarded lazily when they surface at the heap top.
+	compGen uint32
+	inComp  bool
 }
 
 // Done reports whether the flow has completed.
@@ -82,20 +100,32 @@ type Network struct {
 	dormant  dormantHeap
 	// comp indexes the active flows by (absolute) completion time so
 	// NextEvent is a heap peek instead of a scan over every active flow.
-	// It is rebuilt whenever rates change (recompute); between recomputes a
-	// flow's absolute completion time is invariant, up to float rounding,
-	// which minCompletion absorbs by re-evaluating near-minimal candidates.
+	// The heap is persistent across recomputes: a rate change re-keys only
+	// the flows whose rate actually changed (generation-stamped entries;
+	// superseded or completed entries are discarded lazily at the top).
+	// Between re-keys a flow's absolute completion time is invariant, up to
+	// float rounding, which minCompletion absorbs by re-evaluating
+	// near-minimal candidates.
 	comp        compHeap
 	compScratch []compEntry
+	heapMode    bool
+	// busyScratch collects the resources traversed by at least one active
+	// flow, so recompute cost scales with the active flows rather than with
+	// every registered resource (a cluster registers two PCIe links per
+	// tenant; idle tenants' links must not tax every event).
+	busyScratch []*Resource
+	busyStamp   uint64
 	// doneBuf accumulates one AdvanceTo call's completions; reused.
 	doneBuf []*Flow
 }
 
-// compEntry is one active flow keyed by a completion time computed at some
-// earlier clock value.
+// compEntry is one flow keyed by a completion time computed at some earlier
+// clock value; it is valid while gen matches the flow's current generation
+// and the flow is still active.
 type compEntry struct {
-	f  *Flow
-	at units.Time
+	f   *Flow
+	at  units.Time
+	gen uint32
 }
 
 // compHeap is a hand-rolled min-heap of completion entries (ordered by
@@ -174,7 +204,7 @@ func (n *Network) AddResource(name string, cap units.Bandwidth) *Resource {
 	if _, dup := n.resIndex[name]; dup {
 		panic(fmt.Sprintf("flownet: duplicate resource %q", name))
 	}
-	r := &Resource{Name: name, capacity: float64(cap)}
+	r := &Resource{Name: name, capacity: float64(cap), regIdx: len(n.res)}
 	n.resIndex[name] = r
 	n.res = append(n.res, r)
 	return r
@@ -215,6 +245,7 @@ func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data an
 		Label:     label,
 		Size:      size,
 		Data:      data,
+		Owner:     -1,
 		StartAt:   at,
 		route:     route,
 		remaining: float64(size),
@@ -254,20 +285,36 @@ func (n *Network) NextEvent() units.Time {
 // ±1ns for any sane horizon) plus one more for the ceil itself.
 const completionSlack = 4
 
+// stale reports whether a heap entry no longer represents its flow: the
+// flow completed, or a rate change pushed a newer-generation entry.
+func (e compEntry) stale() bool { return !e.f.active || e.gen != e.f.compGen }
+
+// dropStaleTop removes superseded entries from the heap top until the
+// minimum entry is valid (or the heap is empty).
+func (n *Network) dropStaleTop() {
+	for len(n.comp) > 0 && n.comp[0].stale() {
+		n.comp.pop()
+	}
+}
+
 // minCompletion returns min over active flows of completionTime evaluated
 // now — exactly the value a linear scan would produce. The heap keys are
-// completion times stored at an earlier clock value; they are within
-// completionSlack of the current value, so the true minimum is found by
-// re-evaluating every candidate whose stored key is within the slack of the
-// best current value seen so far.
+// completion times stored when the flow's rate last changed; they are
+// within completionSlack of the current value, so the true minimum is found
+// by re-evaluating every valid candidate whose stored key is within the
+// slack of the best current value seen so far.
 func (n *Network) minCompletion() units.Time {
-	if len(n.comp) == 0 {
+	if !n.heapMode {
 		// Below the heap threshold (or idle): scan directly.
 		best := units.Forever
 		for _, f := range n.active {
 			best = units.MinTime(best, n.completionTime(f))
 		}
 		return best
+	}
+	n.dropStaleTop()
+	if len(n.comp) == 0 {
+		return units.Forever
 	}
 	if n.comp[0].at == units.Forever {
 		// All keys at or past the heap minimum are Forever; rates have not
@@ -285,6 +332,9 @@ func (n *Network) minCompletion() units.Time {
 			break
 		}
 		e := n.comp.pop()
+		if e.stale() {
+			continue
+		}
 		e.at = n.completionTime(e.f)
 		scratch = append(scratch, e)
 		if e.at < best {
@@ -425,26 +475,48 @@ func (n *Network) reap() {
 
 // recompute derives max-min fair rates for all active flows by progressive
 // filling: repeatedly find the most constrained resource, give its flows
-// their equal share, freeze them, and remove that capacity.
+// their equal share, freeze them, and remove that capacity. Only resources
+// traversed by an active flow participate (sorted by registration order so
+// bottleneck ties break exactly as a full scan would), and the completion
+// index is re-keyed only for flows whose rate actually changed.
 func (n *Network) recompute() {
+	n.busyStamp++
+	busy := n.busyScratch[:0]
 	unfrozen := 0
-	for _, r := range n.res {
-		r.avail = r.capacity
-		r.count = 0
-	}
 	for _, f := range n.active {
 		f.frozen = false
+		f.prevRate = f.rate
 		f.rate = 0
 		unfrozen++
 		for _, r := range f.route {
+			if r.busyStamp != n.busyStamp {
+				r.busyStamp = n.busyStamp
+				r.avail = r.capacity
+				r.count = 0
+				busy = append(busy, r)
+			}
 			r.count++
 		}
 	}
+	// Order busy resources by registration index so bottleneck ties break
+	// exactly as a scan over every registered resource would. Insertion
+	// sort: the list is small and collected in near-registration order, and
+	// this avoids sort.Slice's closure allocation on the per-event path.
+	for i := 1; i < len(busy); i++ {
+		r := busy[i]
+		j := i - 1
+		for j >= 0 && busy[j].regIdx > r.regIdx {
+			busy[j+1] = busy[j]
+			j--
+		}
+		busy[j+1] = r
+	}
+	n.busyScratch = busy[:0]
 	for unfrozen > 0 {
 		// Find the bottleneck resource.
 		var bottleneck *Resource
 		share := math.Inf(1)
-		for _, r := range n.res {
+		for _, r := range busy {
 			if r.count == 0 {
 				continue
 			}
@@ -478,15 +550,57 @@ func (n *Network) recompute() {
 			}
 		}
 	}
-	// Rates changed: re-key the completion index. Absolute completion times
-	// stay valid until the next recompute. Tiny active sets skip the heap
-	// entirely — a direct scan is cheaper than maintaining it.
-	n.comp = n.comp[:0]
-	if len(n.active) > compHeapThreshold {
+	n.rekeyCompletions()
+}
+
+// rekeyCompletions refreshes the completion index after a recompute. Tiny
+// active sets skip the heap entirely — a direct scan is cheaper than
+// maintaining it; above the threshold the heap is persistent and only flows
+// whose rate changed get a new (generation-bumped) entry.
+func (n *Network) rekeyCompletions() {
+	if len(n.active) <= compHeapThreshold {
+		if n.heapMode {
+			n.heapMode = false
+			n.comp = n.comp[:0]
+			for _, f := range n.active {
+				f.inComp = false
+			}
+		}
+		return
+	}
+	changed := 0
+	if n.heapMode {
 		for _, f := range n.active {
-			n.comp = append(n.comp, compEntry{f: f, at: n.completionTime(f)})
+			if !f.inComp || f.rate != f.prevRate {
+				changed++
+			}
+		}
+	}
+	// When a recompute moved most rates (one shared bottleneck ripples to
+	// every flow — the common single-machine case), a wholesale rebuild is
+	// cheaper than per-entry pushes into a garbage-laden heap: heap.init is
+	// O(F) and leaves no stale entries. The incremental path pays off when
+	// ripples are sparse — a fleet's flows on disjoint PCIe links keep
+	// their keys. The rebuild also runs when lazily discarded garbage has
+	// accumulated past a small multiple of the live entries.
+	if !n.heapMode || 4*changed >= len(n.active) || len(n.comp) > 4*len(n.active)+64 {
+		n.heapMode = true
+		n.comp = n.comp[:0]
+		for _, f := range n.active {
+			f.compGen++
+			f.inComp = true
+			n.comp = append(n.comp, compEntry{f: f, at: n.completionTime(f), gen: f.compGen})
 		}
 		n.comp.init()
+		return
+	}
+	for _, f := range n.active {
+		if f.inComp && f.rate == f.prevRate {
+			continue // absolute completion time unchanged; entry still valid
+		}
+		f.compGen++
+		f.inComp = true
+		n.comp.push(compEntry{f: f, at: n.completionTime(f), gen: f.compGen})
 	}
 }
 

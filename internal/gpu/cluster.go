@@ -3,17 +3,25 @@
 // Each tenant is a resumable runner (see run.go) owning its GPU, PCIe link,
 // page table, and migration queues; the flash array (one FTL, shared
 // channel bandwidth, shared GC state), host memory capacity, and the host
-// DRAM bus are one substrate every tenant contends on. The scheduler
-// alternates two moves: step every live tenant until only the clock can
-// unblock it, then advance the shared flownet clock to the earliest pending
-// event — a migration chunk landing, a dormant flow activating, or a kernel
-// finishing — delivering completions to their owning machines at the moment
-// they happen. A one-tenant cluster therefore executes exactly the
+// DRAM bus are one substrate every tenant contends on.
+//
+// Scheduling is event-driven: tenants sleep on explicit wakeup sources — a
+// kernel-end heap, flow-completion owner tags, the host pool's grant
+// queue, and an arrival queue for jobs that join mid-simulation — and only
+// the tenants whose events fire are stepped, so per-event cost is
+// O(affected tenants · log n) instead of O(all tenants). A reference
+// polling scheduler (the shared-clock loop this engine grew out of) is
+// retained behind a test hook; differential tests pin the two bit-identical
+// across every model × policy. A one-tenant cluster executes exactly the
 // single-machine Run loop.
 package gpu
 
 import (
+	"container/heap"
 	"fmt"
+	"math/bits"
+	"sort"
+	"sync/atomic"
 
 	"g10sim/internal/flownet"
 	"g10sim/internal/profile"
@@ -39,6 +47,12 @@ type ClusterTenant struct {
 	ExecTrace *profile.Trace
 	// Tag namespaces the tenant's PCIe resources ("gpu<i>" if empty).
 	Tag string
+	// ArrivalTime admits the job mid-simulation: it joins — seeding its
+	// global tensors into the then-current shared pool and array — when
+	// the shared clock reaches this value. <= 0 means present from the
+	// start. The job's PCIe resources are registered up front so flownet's
+	// resource order is a function of the tenant list alone.
+	ArrivalTime units.Time
 }
 
 // ClusterParams bundles a co-simulation's inputs.
@@ -50,12 +64,24 @@ type ClusterParams struct {
 	Shared Config
 }
 
+// TenantSpan is one job's admission and completion times on the shared
+// clock.
+type TenantSpan struct {
+	Arrival units.Time
+	Finish  units.Time
+}
+
+// Duration reports the job's wall-clock span.
+func (s TenantSpan) Duration() units.Duration { return s.Finish - s.Arrival }
+
 // ClusterResult reports one co-simulation.
 type ClusterResult struct {
 	// Tenants holds each job's result in input order. A tenant's SSDStats
 	// and WriteAmp are its attributed share of the shared array (host
 	// writes, and the GC work those writes triggered).
 	Tenants []Result
+	// Spans holds each job's arrival and finish times in input order.
+	Spans []TenantSpan
 	// Makespan is the clock value at which the last tenant finished.
 	Makespan units.Duration
 	// SSDStats aggregates the whole array; WriteAmp is the array-level
@@ -63,6 +89,26 @@ type ClusterResult struct {
 	SSDStats ssd.Stats
 	WriteAmp float64
 }
+
+// stepCounter tallies step-machine invocations across every driver in the
+// process — the scheduler-cost metric BenchmarkClusterScaling pins
+// near-linear in tenant count.
+var stepCounter atomic.Int64
+
+// ResetStepCount zeroes the global step-machine counter (benchmarks/tests).
+func ResetStepCount() { stepCounter.Store(0) }
+
+// StepCount reports step-machine invocations since the last reset.
+func StepCount() int64 { return stepCounter.Load() }
+
+// forcePolling switches drive to the retained reference polling scheduler;
+// differential tests use it to pin event-driven == polling bit-identity.
+var forcePolling atomic.Bool
+
+// ForcePollingDriverForTest selects the reference polling scheduler for
+// subsequent cluster runs. Tests only; the event-driven scheduler is the
+// production path.
+func ForcePollingDriverForTest(v bool) { forcePolling.Store(v) }
 
 // RunCluster co-simulates every tenant against one flash array, host
 // memory pool, and clock. Tenant failures (FlashNeuron-style footnote-1
@@ -86,6 +132,7 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 			tag = fmt.Sprintf("gpu%d", i)
 		}
 		m := newTenantShell(t.Analysis, cfg, net, tag)
+		m.idx = i
 		if i == 0 {
 			// Shared resources are registered after tenant 0's PCIe links
 			// so a one-tenant cluster's resource order — and with it
@@ -102,14 +149,24 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 		if err != nil {
 			return ClusterResult{}, fmt.Errorf("gpu: tenant %d (%s): %w", i, t.Analysis.Graph.Name, err)
 		}
+		r.idx = i
+		r.arrival = t.ArrivalTime
 		runners[i] = r
 	}
 	if err := drive(net, runners); err != nil {
 		return ClusterResult{}, err
 	}
-	out := ClusterResult{Tenants: make([]Result, len(runners))}
+	out := ClusterResult{
+		Tenants: make([]Result, len(runners)),
+		Spans:   make([]TenantSpan, len(runners)),
+	}
 	for i, r := range runners {
 		out.Tenants[i] = r.result()
+		arr := r.arrival
+		if arr < 0 {
+			arr = 0
+		}
+		out.Spans[i] = TenantSpan{Arrival: arr, Finish: r.doneAt}
 		if d := units.Duration(r.doneAt); d > out.Makespan {
 			out.Makespan = d
 		}
@@ -119,14 +176,251 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 	return out, nil
 }
 
-// drive schedules the tenants on one shared clock: step every live tenant
-// as far as it can go without consuming simulated time, then advance the
-// clock to the earliest pending event. Tenant order is fixed, so the
-// co-simulation is deterministic.
+// drive schedules the tenants on one shared clock.
 func drive(net *flownet.Network, tenants []*runner) error {
-	// Global tensors seed in tenant order before the clock moves (their
-	// initial host/flash placement contends on the shared pool and array).
+	if forcePolling.Load() {
+		return drivePolling(net, tenants)
+	}
+	return driveEvents(net, tenants)
+}
+
+// execHeap orders executing tenants by kernel-end time (ties by index, so
+// wake order is deterministic).
+type execEntry struct {
+	at  units.Time
+	idx int
+}
+
+type execHeap []execEntry
+
+func (h execHeap) Len() int { return len(h) }
+func (h execHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].idx < h[j].idx
+}
+func (h execHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *execHeap) Push(x any)   { *h = append(*h, x.(execEntry)) }
+func (h *execHeap) Pop() any {
+	old := *h
+	e := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return e
+}
+
+// bitset is a fixed-size index set iterated in ascending order, so wake and
+// dispatch rounds preserve the deterministic tenant ordering the polling
+// scheduler had.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// drain appends the set indices (ascending) to out and clears the set.
+func (b bitset) drain(out []int) []int {
+	for wi, w := range b {
+		for w != 0 {
+			out = append(out, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+		b[wi] = 0
+	}
+	return out
+}
+
+// forEach visits the set indices in ascending order. The visitor may clear
+// bits (including the current one) but must not set bits below the cursor.
+func (b bitset) forEach(fn func(i int)) {
+	for wi := range b {
+		w := b[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			fn(i)
+		}
+	}
+}
+
+// driveEvents is the production scheduler: tenants sleep on a global
+// time-ordered wakeup structure — the kernel-end heap, the network's event
+// heap (whose completions carry owner tags), the host pool's grant queue,
+// and the arrival queue — and only woken tenants are stepped.
+//
+// Determinism and bit-identity with the polling reference rest on two
+// invariants. First, within a round every woken tenant is stepped in index
+// order, exactly the order the polling loop used. Second, stepping an
+// un-woken tenant is a no-op: a blocked tenant's private state changes only
+// through its own flow completions, and its re-step reads shared state
+// (host pool, flash allocator) only after such a change — so skipping the
+// no-op steps cannot alter any decision. Re-dispatch of the migration
+// metadata queues per network event is likewise confined to machines with
+// queued requests (for the others the arbiter pop/requeue cycle is
+// observationally empty).
+func driveEvents(net *flownet.Network, tenants []*runner) error {
+	n := len(tenants)
+	ready := newBitset(n)
+	queued := newBitset(n)
+	var execH execHeap
+	var wake []int
+
+	// Jobs arriving mid-simulation, ordered by (arrival, index).
+	var arrivals []int
+	for i, r := range tenants {
+		if r.arrival > 0 {
+			r.phase = phasePending
+			arrivals = append(arrivals, i)
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		a, b := tenants[arrivals[i]], tenants[arrivals[j]]
+		if a.arrival != b.arrival {
+			return a.arrival < b.arrival
+		}
+		return a.idx < b.idx
+	})
+	arrCursor := 0
+
+	// Host-pool grant subscriptions wake their tenant by marking it ready.
 	for _, r := range tenants {
+		r := r
+		r.onHostWake = func() {
+			r.hostSubscribed = false
+			ready.set(r.idx)
+		}
+	}
+
+	// Global tensors of day-zero tenants seed in tenant order before the
+	// clock moves (their initial host/flash placement contends on the
+	// shared pool and array).
+	remaining := n
+	for _, r := range tenants {
+		if r.phase == phasePending {
+			continue
+		}
+		if err := r.start(); err != nil {
+			return err
+		}
+		ready.set(r.idx)
+	}
+
+	for {
+		// Step round: every woken tenant, in index order. Wakes raised
+		// during the round (e.g. a freed host reservation) are stepped in
+		// a follow-up round at the same clock before time advances.
+		wake = ready.drain(wake[:0])
+		for _, i := range wake {
+			r := tenants[i]
+			if r.phase == phaseDone || r.phase == phasePending {
+				continue
+			}
+			stepCounter.Add(1)
+			r.step()
+			if r.err != nil {
+				return r.err
+			}
+			switch r.phase {
+			case phaseDone:
+				remaining--
+			case phaseExec:
+				if !r.inExecHeap {
+					r.inExecHeap = true
+					heap.Push(&execH, execEntry{at: r.execEnd, idx: i})
+				}
+			}
+			if r.m.queues.Len() > 0 {
+				queued.set(i)
+			} else {
+				queued.clear(i)
+			}
+		}
+		if ready.any() {
+			continue
+		}
+		if remaining == 0 {
+			return nil
+		}
+
+		// Advance the shared clock to the earliest pending event.
+		next := units.Forever
+		if len(execH) > 0 {
+			next = execH[0].at
+		}
+		if arrCursor < len(arrivals) {
+			next = units.MinTime(next, tenants[arrivals[arrCursor]].arrival)
+		}
+		next = units.MinTime(next, net.NextEvent())
+		if next == units.Forever {
+			// Cannot happen: a waiting tenant always has in-flight
+			// migrations (otherwise step streams or fails it), an
+			// executing tenant bounds next by its kernel end, and a
+			// pending tenant by its arrival.
+			return fmt.Errorf("gpu: cluster stalled with no pending events")
+		}
+		net.AdvanceEventwise(next, func(done []*flownet.Flow) {
+			for _, f := range done {
+				deliver(f)
+				if o := f.Owner; o >= 0 {
+					ready.set(o)
+					if tenants[o].m.queues.Len() > 0 {
+						queued.set(o)
+					} else {
+						queued.clear(o)
+					}
+				}
+			}
+			// Every machine with queued migration metadata re-dispatches
+			// after each event, in index order — the arbiter's transfer-set
+			// rotation the polling loop performed for all tenants.
+			queued.forEach(func(i int) {
+				m := tenants[i].m
+				m.dispatch()
+				if m.queues.Len() == 0 {
+					queued.clear(i)
+				}
+			})
+		})
+		now := net.Now()
+		for len(execH) > 0 && execH[0].at <= now {
+			e := heap.Pop(&execH).(execEntry)
+			tenants[e.idx].inExecHeap = false
+			ready.set(e.idx)
+		}
+		for arrCursor < len(arrivals) && tenants[arrivals[arrCursor]].arrival <= now {
+			r := tenants[arrivals[arrCursor]]
+			arrCursor++
+			if err := r.admit(); err != nil {
+				return err
+			}
+			ready.set(r.idx)
+		}
+	}
+}
+
+// drivePolling is the reference scheduler the event-driven engine must
+// match bit for bit: step every live tenant until only the clock can
+// unblock it, then advance the shared clock to the earliest pending event.
+// Its per-round cost is O(all tenants); it exists for differential tests
+// (ForcePollingDriverForTest) and as executable documentation of the
+// semantics.
+func drivePolling(net *flownet.Network, tenants []*runner) error {
+	for _, r := range tenants {
+		if r.arrival > 0 {
+			r.phase = phasePending
+			continue
+		}
 		if err := r.start(); err != nil {
 			return err
 		}
@@ -138,6 +432,12 @@ func drive(net *flownet.Network, tenants []*runner) error {
 			if r.phase == phaseDone {
 				continue
 			}
+			if r.phase == phasePending {
+				live = true
+				next = units.MinTime(next, r.arrival)
+				continue
+			}
+			stepCounter.Add(1)
 			r.step()
 			if r.err != nil {
 				return r.err
@@ -156,19 +456,25 @@ func drive(net *flownet.Network, tenants []*runner) error {
 		}
 		next = units.MinTime(next, net.NextEvent())
 		if next == units.Forever {
-			// Cannot happen: a waiting tenant always has in-flight
-			// migrations (otherwise step streams or fails it) and an
-			// executing tenant bounds next by its kernel end.
 			return fmt.Errorf("gpu: cluster stalled with no pending events")
 		}
 		advanceShared(net, tenants, next)
+		for _, r := range tenants {
+			if r.phase == phasePending && r.arrival <= net.Now() {
+				if err := r.admit(); err != nil {
+					return err
+				}
+			}
+		}
 	}
 }
 
 // advanceShared moves the shared clock to t, delivering each batch of flow
 // completions to its owning machines at the moment it lands and letting
 // every machine re-dispatch its metadata queues after each event — the
-// multi-tenant generalisation of the single-machine wait loop.
+// multi-tenant generalisation of the single-machine wait loop (polling
+// reference; the event driver confines the re-dispatch to machines with
+// queued requests).
 func advanceShared(net *flownet.Network, tenants []*runner, t units.Time) {
 	net.AdvanceEventwise(t, func(done []*flownet.Flow) {
 		for _, f := range done {

@@ -122,6 +122,18 @@ type Machine struct {
 	// non-zero (otherwise nothing will ever unblock it).
 	inflight int
 
+	// idx is the machine's tenant slot in its cluster (0 for a stand-alone
+	// machine); every flow it starts is tagged with it so the event-driven
+	// scheduler wakes exactly the tenants a completion batch affects.
+	idx int
+
+	// hostRejects counts denied host-pool reservations and lastHostReject
+	// the size of the most recent one: the runner subscribes to the pool's
+	// waiter queue when a blocked wait follows a denial, so a grant wakes
+	// this tenant specifically instead of every tenant re-polling the pool.
+	hostRejects    int64
+	lastHostReject units.Bytes
+
 	// Derived indexes, maintained incrementally at every state transition
 	// (track/untrack) instead of recomputed by O(tensors) scans:
 	//   pendFetchBytes   — sum of sizes with a queued (not yet flying) fetch
@@ -226,6 +238,18 @@ func (m *Machine) bind(sh *Shared, pol Policy) {
 
 func (m *Machine) pagesOf(t *dnn.Tensor) int64 {
 	return units.PagesFor(t.Size, m.cfg.TranslationGranularity)
+}
+
+// reserveHost claims host-pool capacity, recording denials so the runner
+// can subscribe this tenant to the pool's grant queue (an explicit wakeup
+// reason instead of re-polling).
+func (m *Machine) reserveHost(n units.Bytes) bool {
+	if m.host.Reserve(n) {
+		return true
+	}
+	m.hostRejects++
+	m.lastHostReject = n
+	return false
 }
 
 // ---- Derived-index maintenance ----
@@ -388,7 +412,7 @@ func (m *Machine) seed(id int) error {
 		return nil
 	}
 	size := st.t.Size
-	if m.host.Reserve(size) {
+	if m.reserveHost(size) {
 		m.untrack(st)
 		st.loc = uvm.InHost
 		m.track(st)
@@ -580,7 +604,7 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 
 	switch r.Kind {
 	case uvm.PreEvict:
-		if mig.dst == uvm.InHost && !m.host.Reserve(size) {
+		if mig.dst == uvm.InHost && !m.reserveHost(size) {
 			mig.dst = uvm.InFlash // host full: fall back to the SSD
 		}
 		if mig.dst == uvm.InFlash {
@@ -679,6 +703,7 @@ func (m *Machine) startChunk(st *tensorState) bool {
 	mig.latency = 0 // only the first chunk pays setup latency
 	m.untrack(st)
 	st.fly = m.net.StartAt(mig.label, flowBytes, m.Now()+lat, mig, mig.route...)
+	st.fly.Owner = m.idx
 	m.inflight++
 	m.track(st)
 	return true

@@ -67,6 +67,11 @@ const (
 	phaseExec
 	// phaseDone: the run completed, failed, or errored.
 	phaseDone
+	// phasePending: the job has not arrived yet (ClusterTenant.ArrivalTime
+	// lies in the future); the cluster driver admits it — seeding its
+	// global tensors at that moment's contention — when the shared clock
+	// reaches its arrival.
+	phasePending
 )
 
 // runner is one tenant: a resumable step machine that replays its workload
@@ -90,6 +95,20 @@ type runner struct {
 	// doneAt is the clock value when the tenant reached phaseDone.
 	doneAt units.Time
 	err    error
+
+	// Scheduler bookkeeping (cluster wakeup subscriptions). idx is the
+	// tenant slot; arrival the admission time (<= 0 = present from the
+	// start); inExecHeap marks a live entry in the driver's kernel-end
+	// heap; onHostWake, when set by the event driver, is registered with
+	// the shared host pool after a blocked wait that followed a denied
+	// reservation (hostSubscribed dedupes; hostRejects0 is the per-step
+	// denial snapshot).
+	idx            int
+	arrival        units.Time
+	inExecHeap     bool
+	hostSubscribed bool
+	hostRejects0   int64
+	onHostWake     func()
 
 	// Measured-iteration snapshots.
 	iterStart    units.Time
@@ -141,16 +160,24 @@ func (r *runner) start() error {
 	return nil
 }
 
+// admit seeds a dynamically arriving tenant at the current clock and makes
+// it steppable.
+func (r *runner) admit() error {
+	r.phase = phaseBoundary
+	return r.start()
+}
+
 // step advances the tenant as far as it can go without consuming simulated
 // time: it stops when the run finishes, when the tenant is executing a
 // kernel (waiting for the clock to reach execEnd), or when it is blocked on
 // its in-flight migrations (waiting for a network event).
 func (r *runner) step() {
 	m := r.m
+	r.hostRejects0 = m.hostRejects
 	n := len(m.g.Kernels)
 	for {
 		switch r.phase {
-		case phaseDone:
+		case phaseDone, phasePending:
 			return
 		case phaseBoundary:
 			if r.k == 0 && r.iter == r.cfg.Iterations-1 {
@@ -275,7 +302,15 @@ func (r *runner) stepWait() bool {
 		}
 
 		if m.inflight > 0 {
-			// Migrations are flying; resume after the next network event.
+			// Migrations are flying; resume after the next network event —
+			// the scheduler wakes this tenant when one of its own flows
+			// completes. If a host reservation was denied this step, also
+			// subscribe to the pool's grant queue: released capacity then
+			// wakes this tenant explicitly instead of relying on a re-poll.
+			if r.onHostWake != nil && !r.hostSubscribed && m.hostRejects > r.hostRejects0 {
+				r.hostSubscribed = true
+				m.host.AwaitFree(m.lastHostReject, r.onHostWake)
+			}
 			r.checkFail = true
 			return false
 		}
@@ -379,7 +414,7 @@ func (r *runner) streamOverflow(kern *dnn.Kernel, pinned map[int]bool) (units.Du
 		if st.loc != uvm.Unmapped {
 			continue
 		}
-		if m.host.Reserve(t.Size) {
+		if m.reserveHost(t.Size) {
 			m.untrack(st)
 			st.loc = uvm.InHost
 			m.track(st)

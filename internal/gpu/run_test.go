@@ -67,7 +67,7 @@ func testCfg(gpuCap, hostCap units.Bytes) Config {
 	return cfg
 }
 
-func analyze(t *testing.T, g *dnn.Graph, timeScale float64) *vitality.Analysis {
+func analyze(t testing.TB, g *dnn.Graph, timeScale float64) *vitality.Analysis {
 	t.Helper()
 	tr := profile.Profile(g, profile.A100(timeScale))
 	a, err := vitality.Analyze(g, tr)

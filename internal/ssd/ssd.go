@@ -245,6 +245,11 @@ type Device struct {
 	freeList    []LogicalRange
 
 	stats Stats
+	// tenants indexes every attribution view handed out by Tenant(), in
+	// registration order; a view's ID is its slot, so per-tenant lookups
+	// and end-of-run aggregation stay O(1) per view under hundreds of
+	// tenants.
+	tenants []*Tenant
 }
 
 // New builds a device. Geometry must divide evenly; use ZNAND() or the test

@@ -12,9 +12,21 @@ import (
 // evictions fall back to flash), which a statically divided capacity cannot
 // model. A single-machine simulation owns a private pool, making the two
 // configurations behave identically at one tenant.
+//
+// The pool is also a wakeup source for event-driven schedulers: a tenant
+// whose reservation was denied can subscribe with AwaitFree and is notified
+// — FIFO, grant-sized — when released capacity could satisfy it, instead of
+// every tenant re-polling the pool on every event.
 type MemPool struct {
 	capacity units.Bytes
 	used     units.Bytes
+	waiters  []poolWaiter
+}
+
+// poolWaiter is one pending capacity subscription.
+type poolWaiter struct {
+	need units.Bytes
+	wake func()
 }
 
 // NewMemPool builds a pool of the given capacity.
@@ -32,13 +44,52 @@ func (p *MemPool) Reserve(n units.Bytes) bool {
 	return true
 }
 
-// Release returns n previously reserved bytes to the pool.
+// Release returns n previously reserved bytes to the pool and notifies
+// waiters the freed capacity could satisfy.
 func (p *MemPool) Release(n units.Bytes) {
 	if n < 0 || n > p.used {
 		panic(fmt.Sprintf("uvm: releasing %v from a pool holding %v", n, p.used))
 	}
 	p.used -= n
+	p.notify()
 }
+
+// AwaitFree subscribes a wakeup for when at least need bytes could be
+// reserved. Wakeups are advisory grants: the callback runs once (FIFO order
+// among waiters, head first) after a Release leaves enough room, and the
+// subscriber must re-attempt its reservation — nothing is held on its
+// behalf. A need satisfiable right now fires on the next Release too, not
+// immediately, so subscribing never re-enters the caller.
+func (p *MemPool) AwaitFree(need units.Bytes, wake func()) {
+	if need < 0 {
+		need = 0
+	}
+	p.waiters = append(p.waiters, poolWaiter{need: need, wake: wake})
+}
+
+// notify pops waiters in FIFO order as long as the head's need fits the
+// capacity not yet promised to an earlier grant this round. Deducting each
+// grant before looking at the next waiter keeps one large Release from
+// waking the whole queue at once (each wakeup is one grant).
+func (p *MemPool) notify() {
+	grantable := p.Free()
+	woken := 0
+	for woken < len(p.waiters) && p.waiters[woken].need <= grantable {
+		grantable -= p.waiters[woken].need
+		woken++
+	}
+	if woken == 0 {
+		return
+	}
+	ready := p.waiters[:woken]
+	p.waiters = append([]poolWaiter(nil), p.waiters[woken:]...)
+	for _, w := range ready {
+		w.wake()
+	}
+}
+
+// Waiters reports the pending subscription count.
+func (p *MemPool) Waiters() int { return len(p.waiters) }
 
 // Capacity reports the pool size.
 func (p *MemPool) Capacity() units.Bytes { return p.capacity }

@@ -44,6 +44,77 @@ func TestMemPoolSharedContention(t *testing.T) {
 	}
 }
 
+func TestMemPoolWaiterQueue(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	if !p.Reserve(90 * units.MB) {
+		t.Fatal("reserve failed")
+	}
+	var woken []string
+	p.AwaitFree(30*units.MB, func() { woken = append(woken, "a") })
+	p.AwaitFree(20*units.MB, func() { woken = append(woken, "b") })
+	p.AwaitFree(5*units.MB, func() { woken = append(woken, "c") })
+	if p.Waiters() != 3 {
+		t.Fatalf("waiters = %d, want 3", p.Waiters())
+	}
+
+	// 10MB free: not enough for the head (30MB). FIFO means nobody wakes —
+	// grants are handed out in order, not to whoever fits.
+	p.Release(5 * units.MB) // free = 15MB
+	if len(woken) != 0 {
+		t.Fatalf("woken %v with only 15MB free (head needs 30MB)", woken)
+	}
+
+	// Free 25MB more (free = 40MB): the head's 30MB grant fits, and after
+	// deducting it the remaining 10MB is enough for b's 20MB? No — only
+	// 10MB remains, so exactly one waiter wakes.
+	p.Release(25 * units.MB)
+	if want := []string{"a"}; len(woken) != 1 || woken[0] != "a" {
+		t.Fatalf("woken = %v, want %v", woken, want)
+	}
+	if p.Waiters() != 2 {
+		t.Fatalf("waiters = %d after first grant, want 2", p.Waiters())
+	}
+
+	// Freeing the rest wakes b and c in FIFO order, each against the
+	// capacity left after earlier grants this round.
+	p.Release(60 * units.MB) // free = 100MB
+	if len(woken) != 3 || woken[1] != "b" || woken[2] != "c" {
+		t.Fatalf("woken = %v, want [a b c]", woken)
+	}
+	if p.Waiters() != 0 {
+		t.Errorf("waiters = %d after draining, want 0", p.Waiters())
+	}
+}
+
+// TestMemPoolWakeMayResubscribe: a wake callback re-subscribing must not
+// corrupt the queue (the engine's tenants re-subscribe when still blocked).
+func TestMemPoolWakeMayResubscribe(t *testing.T) {
+	p := NewMemPool(10 * units.MB)
+	if !p.Reserve(10 * units.MB) {
+		t.Fatal("reserve failed")
+	}
+	wakes := 0
+	var again func()
+	again = func() {
+		wakes++
+		if wakes < 3 {
+			p.AwaitFree(units.MB, again)
+		}
+	}
+	p.AwaitFree(units.MB, again)
+	p.Release(5 * units.MB)
+	if wakes != 1 {
+		t.Fatalf("wakes = %d after first release, want 1", wakes)
+	}
+	if p.Waiters() != 1 {
+		t.Fatalf("waiters = %d (re-subscription lost)", p.Waiters())
+	}
+	p.Release(5 * units.MB)
+	if wakes != 2 || p.Waiters() != 1 {
+		t.Fatalf("wakes = %d waiters = %d after second release", wakes, p.Waiters())
+	}
+}
+
 func TestMemPoolReleasePanicsOnUnderflow(t *testing.T) {
 	defer func() {
 		if recover() == nil {
