@@ -49,6 +49,7 @@ var figures = []struct {
 	{"multigpu", wrap(experiments.MultiGPU)},
 	{"colocate", wrap(experiments.Colocate)},
 	{"fleet", wrap(experiments.Fleet)},
+	{"adapt", wrap(experiments.Adapt)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -76,7 +77,7 @@ type benchReport struct {
 
 func main() {
 	var (
-		fig        = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate,fleet, or 'all'")
+		fig        = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate,fleet,adapt, or 'all'")
 		short      = flag.Bool("short", false, "shrunken workloads for a fast pass")
 		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
 		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")

@@ -19,6 +19,7 @@ package g10sim
 import (
 	"fmt"
 
+	"g10sim/internal/adapt"
 	"g10sim/internal/dnn"
 	"g10sim/internal/experiments"
 	"g10sim/internal/gpu"
@@ -47,6 +48,15 @@ type Config struct {
 	SSDWriteGBps      float64 // sustained flash write bandwidth (default 3.0)
 	SSDCapacityGB     float64 // flash capacity (default 3200)
 	Iterations        int     // training iterations; the last is measured (default 2)
+
+	// Adaptive attaches the online replanning layer to the G10 policies:
+	// each iteration the runtime folds the observed migration lateness
+	// (realized vs exclusive-bandwidth transfer times) into an EMA and
+	// re-times the next iteration's pre-eviction/prefetch instructions —
+	// earlier prefetch issue under contention, deferred eviction when the
+	// device is idle. Reactive policies are unaffected, and an uncontended
+	// adaptive run is bit-identical to the static plan.
+	Adaptive bool
 }
 
 // DefaultConfig returns the paper's Table 2 testbed.
@@ -164,7 +174,7 @@ type Report struct {
 
 // Simulate runs the workload under the named policy.
 func Simulate(w *Workload, policyName string, cfg Config) (Report, error) {
-	pol, err := experiments.NewPolicy(policyName)
+	pol, err := newPolicy(policyName, cfg.Adaptive)
 	if err != nil {
 		return Report{}, err
 	}
@@ -183,6 +193,20 @@ func tenantConfig(icfg gpu.Config, policyName string) gpu.Config {
 		icfg = policy.IdealConfig(icfg)
 	}
 	return icfg
+}
+
+// newPolicy constructs the named policy, attaching the online replanning
+// controller when adaptive is set (planning G10 variants only; the
+// reactive baselines have no instrumented program to re-time).
+func newPolicy(policyName string, adaptive bool) (gpu.Policy, error) {
+	pol, err := experiments.NewPolicy(policyName)
+	if err != nil {
+		return nil, err
+	}
+	if adaptive {
+		pol = policy.Adaptive(pol, adapt.Config{})
+	}
+	return pol, nil
 }
 
 // reportFrom converts an internal result to the public report.
@@ -274,7 +298,7 @@ func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, erro
 		if j.Workload == nil {
 			return ClusterReport{}, fmt.Errorf("g10sim: job %d has no workload", i)
 		}
-		pol, err := experiments.NewPolicy(j.Policy)
+		pol, err := newPolicy(j.Policy, ccfg.Adaptive)
 		if err != nil {
 			return ClusterReport{}, err
 		}

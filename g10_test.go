@@ -117,6 +117,67 @@ func TestGraphBuilderCustomModel(t *testing.T) {
 	}
 }
 
+// TestAdaptiveDifferential pins the online replanning layer's equivalence
+// guarantees, mirroring the polling-vs-event driver pattern: for every
+// built-in model × policy, (a) Config.Adaptive = false replays the exact
+// static path, and (b) a zero-lateness run — GPU memory roomy enough that
+// nothing ever migrates — with Adaptive = true is bit-identical to the
+// static plan: with no migration flows the lateness signal stays zero and
+// the controller never touches the program.
+func TestAdaptiveDifferential(t *testing.T) {
+	batches := map[string]int{"BERT": 8, "ViT": 8, "Inceptionv3": 8, "ResNet152": 8, "SENet154": 4}
+	// Roomy: every working set and the full footprint fit on the GPU.
+	cfg := smallConfig()
+	cfg.GPUMemoryGB = 64
+	acfg := cfg
+	acfg.Adaptive = true
+	for _, model := range Models() {
+		w, err := BuildModel(model, batches[model])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range Policies() {
+			t.Run(fmt.Sprintf("%s/%s", model, pol), func(t *testing.T) {
+				static, err := Simulate(w, pol, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				adaptive, err := Simulate(w, pol, acfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(static, adaptive) {
+					t.Errorf("zero-lateness adaptive run diverged from static:\nstatic:   %+v\nadaptive: %+v", static, adaptive)
+				}
+				if static.GPUToSSDGB+static.SSDToGPUGB+static.GPUToHostGB+static.HostToGPUGB > 0 {
+					t.Fatalf("roomy config still migrated; the zero-lateness premise is broken: %+v", static)
+				}
+			})
+		}
+	}
+	// The cluster path honours the flag the same way: a roomy two-job
+	// co-simulation with Adaptive on matches the one with it off.
+	bert, err := BuildModel("BERT", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []ClusterJob{
+		{Workload: bert, Policy: "G10"},
+		{Workload: bert, Policy: "DeepUM+"},
+	}
+	off, err := SimulateCluster(jobs, ClusterConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := SimulateCluster(jobs, ClusterConfig{Config: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off, on) {
+		t.Errorf("zero-lateness adaptive cluster diverged:\noff: %+v\non:  %+v", off, on)
+	}
+}
+
 // TestClusterSingleTenantMatchesSimulate: for every built-in model × policy
 // combination, a one-job SimulateCluster result must be field-for-field
 // identical to Simulate — the cluster engine is the same step machine on

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// adaptRowsByPolicy indexes study rows by (policy, tenant count).
+func adaptRowsByPolicy(rows []AdaptRow) map[string]map[int]AdaptRow {
+	out := map[string]map[int]AdaptRow{}
+	for _, r := range rows {
+		if out[r.Policy] == nil {
+			out[r.Policy] = map[int]AdaptRow{}
+		}
+		out[r.Policy][r.Tenants] = r
+	}
+	return out
+}
+
+// TestAdaptStudy: in short mode the study covers every policy at the
+// 16-tenant fleet, no tenant fails, and the adaptive variant strictly
+// improves on the static plan's slowdown distribution.
+func TestAdaptStudy(t *testing.T) {
+	s, buf := shortSession(t)
+	rows, err := Adapt(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(adaptPolicies) {
+		t.Fatalf("%d rows, want %d", len(rows), len(adaptPolicies))
+	}
+	byPol := adaptRowsByPolicy(rows)
+	for _, pol := range adaptPolicies {
+		r, ok := byPol[pol][16]
+		if !ok {
+			t.Fatalf("no 16-tenant row for %s", pol)
+		}
+		if r.FailedTenants != 0 {
+			t.Errorf("%s: %d failed tenants", pol, r.FailedTenants)
+		}
+		if r.MeanSlowdown < 1 || r.P50Slowdown > r.P95Slowdown || r.P95Slowdown > r.MaxSlowdown {
+			t.Errorf("%s: malformed distribution %+v", pol, r)
+		}
+	}
+	static, adaptive := byPol["G10"][16], byPol["G10-Adaptive"][16]
+	if adaptive.P95Slowdown >= static.P95Slowdown {
+		t.Errorf("adaptive p95 %.4f not below static %.4f", adaptive.P95Slowdown, static.P95Slowdown)
+	}
+	if adaptive.P50Slowdown > static.P50Slowdown {
+		t.Errorf("adaptive p50 %.4f above static %.4f", adaptive.P50Slowdown, static.P50Slowdown)
+	}
+	if adaptive.MeanSlowdown >= static.MeanSlowdown {
+		t.Errorf("adaptive mean %.4f not below static %.4f", adaptive.MeanSlowdown, static.MeanSlowdown)
+	}
+	if !strings.Contains(buf.String(), "Adapt study") {
+		t.Error("missing header")
+	}
+}
+
+// TestAdaptDeterministicAcrossWorkers: the study's cells land in the
+// single-flight cluster cache, so the rows are identical at any worker-pool
+// size.
+func TestAdaptDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []AdaptRow {
+		s := NewSession(Options{Short: true, Workers: workers})
+		rows, err := Adapt(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("worker-pool size changed the adapt results:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestFullScaleAdaptClaim pins the headline claim of the adaptation layer
+// at the full study scope: on the 64-tenant fixed-seed fleet trace,
+// adaptive G10 strictly improves both the p50 and p95 slowdown over the
+// static plan. Skipped under -short (the 64-tenant co-simulations take a
+// few seconds).
+func TestFullScaleAdaptClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale adapt study in -short mode")
+	}
+	s := NewSession(Options{W: io.Discard})
+	rows, err := Adapt(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := adaptRowsByPolicy(rows)
+	for _, n := range []int{16, 64} {
+		static, ok := byPol["G10"][n]
+		if !ok {
+			t.Fatalf("no %d-tenant static row", n)
+		}
+		adaptive, ok := byPol["G10-Adaptive"][n]
+		if !ok {
+			t.Fatalf("no %d-tenant adaptive row", n)
+		}
+		if adaptive.P50Slowdown >= static.P50Slowdown {
+			t.Errorf("%d tenants: adaptive p50 %.4f not strictly below static %.4f",
+				n, adaptive.P50Slowdown, static.P50Slowdown)
+		}
+		if adaptive.P95Slowdown >= static.P95Slowdown {
+			t.Errorf("%d tenants: adaptive p95 %.4f not strictly below static %.4f",
+				n, adaptive.P95Slowdown, static.P95Slowdown)
+		}
+	}
+}

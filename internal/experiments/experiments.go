@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"g10sim/internal/adapt"
 	"g10sim/internal/gpu"
 	"g10sim/internal/models"
 	"g10sim/internal/planner"
@@ -47,6 +48,11 @@ func NewPolicy(name string) (gpu.Policy, error) {
 		return policy.G10Host(planner.Config{}), nil
 	case "G10":
 		return policy.G10Full(planner.Config{}), nil
+	case "G10-Adaptive":
+		// The full system plus the online replanning layer (internal/
+		// adapt). Not part of PolicyNames: the paper's figures compare the
+		// static designs; the adaptive variant appears in the Adapt study.
+		return policy.G10Adaptive(planner.Config{}, adapt.Config{}), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown policy %q", name)
 	}
@@ -147,6 +153,18 @@ func (c *cachedProgramPolicy) Program(a *vitality.Analysis, cfg gpu.Config) *pla
 	return p
 }
 
+// cachedReplanPolicy additionally forwards the Replanner hook the wrapped
+// adaptive policy implements (the per-tenant controller state stays with
+// the wrapped instance; only the initial plan is shared).
+type cachedReplanPolicy struct {
+	cachedProgramPolicy
+	rp gpu.Replanner
+}
+
+func (c *cachedReplanPolicy) NextProgram(iter int, sig gpu.LatenessSignal, cur *planner.Program) *planner.Program {
+	return c.rp.NextProgram(iter, sig, cur)
+}
+
 // clusterPolicy builds a fresh per-tenant policy instance whose planner
 // output is shared through the session's program cache.
 func (s *Session) clusterPolicy(name string) (gpu.Policy, error) {
@@ -155,7 +173,11 @@ func (s *Session) clusterPolicy(name string) (gpu.Policy, error) {
 		return nil, err
 	}
 	if _, ok := pol.(gpu.ProgramBuilder); ok {
-		return &cachedProgramPolicy{Policy: pol, s: s}, nil
+		cp := cachedProgramPolicy{Policy: pol, s: s}
+		if rp, ok := pol.(gpu.Replanner); ok {
+			return &cachedReplanPolicy{cachedProgramPolicy: cp, rp: rp}, nil
+		}
+		return &cp, nil
 	}
 	return pol, nil
 }

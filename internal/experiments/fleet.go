@@ -189,6 +189,50 @@ func (s *Session) fleetSolo(model, polName string) (gpu.ClusterResult, error) {
 	})
 }
 
+// slowdownDistribution computes each trace job's slowdown — its
+// co-simulated span over the span of the same job alone on a dedicated
+// slice under the same policy — in trace order, skipping (and counting)
+// failed tenants. Shared by the fleet and adapt studies.
+func (s *Session) slowdownDistribution(pol string, trace []FleetJob, cres gpu.ClusterResult) (slowdowns []float64, failed int, err error) {
+	for i, j := range trace {
+		if cres.Tenants[i].Failed {
+			failed++
+			continue
+		}
+		solo, err := s.fleetSolo(j.Model, pol)
+		if err != nil {
+			return nil, 0, err
+		}
+		soloSpan := solo.Spans[0].Duration()
+		if soloSpan <= 0 {
+			continue
+		}
+		slowdowns = append(slowdowns, float64(cres.Spans[i].Duration())/float64(soloSpan))
+	}
+	return slowdowns, failed, nil
+}
+
+// distStats summarises a slowdown sample (zero when the sample is empty).
+type distStats struct {
+	Mean, P50, P95, Max float64
+}
+
+func summarize(slowdowns []float64) distStats {
+	if len(slowdowns) == 0 {
+		return distStats{}
+	}
+	var st distStats
+	for _, sd := range slowdowns {
+		st.Mean += sd
+	}
+	st.Mean /= float64(len(slowdowns))
+	sorted := sortedCopy(slowdowns)
+	st.P50 = percentile(sorted, 0.50)
+	st.P95 = percentile(sorted, 0.95)
+	st.Max = sorted[len(sorted)-1]
+	return st
+}
+
 // fleetCell runs (or returns the cached) co-simulation for one cell.
 func (s *Session) fleetCell(polName string, n int) (gpu.ClusterResult, error) {
 	key := fmt.Sprintf("fleet/%s/%d", polName, n)
@@ -245,33 +289,16 @@ func Fleet(s *Session) ([]FleetRow, error) {
 				ArrayWA:       cres.WriteAmp,
 				WearByModelGB: make(map[string]float64),
 			}
-			var slowdowns []float64
 			for i, j := range trace {
-				solo, err := s.fleetSolo(j.Model, pol)
-				if err != nil {
-					return nil, err
-				}
-				tr := cres.Tenants[i]
-				row.WearByModelGB[j.Model] += tr.SSDStats.NANDWriteBytes.GiB()
-				if tr.Failed {
-					row.FailedTenants++
-					continue
-				}
-				soloSpan := solo.Spans[0].Duration()
-				if soloSpan <= 0 {
-					continue
-				}
-				sd := float64(cres.Spans[i].Duration()) / float64(soloSpan)
-				slowdowns = append(slowdowns, sd)
-				row.MeanSlowdown += sd
+				row.WearByModelGB[j.Model] += cres.Tenants[i].SSDStats.NANDWriteBytes.GiB()
 			}
-			if len(slowdowns) > 0 {
-				row.MeanSlowdown /= float64(len(slowdowns))
-				sorted := sortedCopy(slowdowns)
-				row.P50Slowdown = percentile(sorted, 0.50)
-				row.P95Slowdown = percentile(sorted, 0.95)
-				row.MaxSlowdown = sorted[len(sorted)-1]
+			slowdowns, failed, err := s.slowdownDistribution(pol, trace, cres)
+			if err != nil {
+				return nil, err
 			}
+			row.FailedTenants = failed
+			st := summarize(slowdowns)
+			row.MeanSlowdown, row.P50Slowdown, row.P95Slowdown, row.MaxSlowdown = st.Mean, st.P50, st.P95, st.Max
 			rows = append(rows, row)
 			fmt.Fprintf(w, "%-10s %7d %9.2fs %6.2fx %6.2fx %6.2fx %6.2fx %10.1f %6.2f %5d\n",
 				pol, n, row.MakespanSec, row.MeanSlowdown, row.P50Slowdown,

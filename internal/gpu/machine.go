@@ -147,6 +147,10 @@ type Machine struct {
 	lruTail        int
 	lruLen         int
 
+	// lat is the cumulative migration-lateness ledger (see lateness.go);
+	// the runner snapshots per-iteration deltas for adaptive policies.
+	lat LatenessSignal
+
 	// Counters (cumulative; the runner snapshots around the measured
 	// iteration).
 	faults        int64
@@ -527,6 +531,7 @@ func (m *Machine) RequestScheduledFetch(id int) bool {
 
 func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) bool {
 	st := &m.states[id]
+	late := scheduled // a scheduled fetch is by definition a deadline miss
 	if st.pend != nil {
 		if st.pend.Kind == uvm.PreEvict && st.fly == nil {
 			// Still queued, not started: cancel the eviction instead.
@@ -535,7 +540,9 @@ func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) boo
 		}
 		if kind == uvm.FaultFetch && st.pend.Kind == uvm.Prefetch && st.fly == nil && st.mig == nil {
 			// Upgrade a queued (not yet started) prefetch to fault
-			// priority: the kernel is now blocked on it.
+			// priority: the kernel is now blocked on it — a planned
+			// migration that missed its deadline.
+			late = true
 			m.clearPend(st)
 		} else {
 			return false
@@ -543,6 +550,12 @@ func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) boo
 	}
 	if st.loc != uvm.InHost && st.loc != uvm.InFlash {
 		return false
+	}
+	if late {
+		// One deadline miss per late tensor, whether the plan's prefetch
+		// was still queued (upgraded above) or never issued and the
+		// instrumented runtime services it as a scheduled transfer (§4.6).
+		m.lat.LateFetches++
 	}
 	r := &uvm.Request{Kind: kind, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: st.loc, Dst: uvm.InGPU, Scheduled: scheduled}
 	m.untrack(st)
@@ -753,6 +766,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 	m.untrack(st)
 	st.fly = nil
 	m.track(st)
+	m.noteChunkDone(mig, f)
 	mig.moved += mig.chunk
 	if mig.kind == uvm.PreEvict {
 		m.gpuUsed -= mig.chunk

@@ -84,6 +84,12 @@ type runner struct {
 	program *planner.Program
 	exec    *profile.Trace
 
+	// rp is non-nil for adaptive policies: at each iteration-closing
+	// boundary it receives the iteration's lateness signal (delta from
+	// sig0) and may swap the program replayed from the next iteration on.
+	rp   Replanner
+	sig0 LatenessSignal
+
 	phase   stepPhase
 	iter, k int
 	// execEnd is when the executing kernel finishes (phaseExec only).
@@ -142,7 +148,11 @@ func newRunner(m *Machine, exec *profile.Trace) (*runner, error) {
 	if program == nil {
 		program = planner.EmptyProgram(a)
 	}
-	return &runner{m: m, cfg: m.cfg, program: program, exec: exec}, nil
+	r := &runner{m: m, cfg: m.cfg, program: program, exec: exec}
+	if rp, ok := m.pol.(Replanner); ok {
+		r.rp = rp
+	}
+	return r, nil
 }
 
 // start seeds global (weight) tensors into the unified space — those that
@@ -191,6 +201,7 @@ func (r *runner) step() {
 					r.finish()
 					return
 				}
+				r.replan()
 				continue
 			}
 			r.beginWait()
@@ -219,6 +230,20 @@ func (r *runner) step() {
 func (r *runner) finish() {
 	r.phase = phaseDone
 	r.doneAt = r.m.Now()
+}
+
+// replan hands an adaptive policy the finished iteration's lateness signal
+// and swaps in any re-timed program for the iterations that follow. A no-op
+// (zero work, zero allocation) for static policies.
+func (r *runner) replan() {
+	if r.rp == nil {
+		return
+	}
+	cum := r.m.lat
+	if np := r.rp.NextProgram(r.iter, cum.Sub(r.sig0), r.program); np != nil {
+		r.program = np
+	}
+	r.sig0 = cum
 }
 
 func (r *runner) beginMeasurement() {

@@ -135,6 +135,10 @@ type planner struct {
 	hostWrite, hostRead *channel
 
 	decisions []Decision
+	// prefetchSlots records each decision's final global prefetch slot from
+	// the eager-rescheduling walk (parallel to decisions); the online
+	// re-timing layer anchors on it.
+	prefetchSlots []int
 }
 
 // New runs the full scheduling pipeline and returns the plan.
@@ -197,6 +201,15 @@ func New(a *vitality.Analysis, cfg Config) *Plan {
 		}
 	}
 	plan.Program = emit(a, pl.decisions)
+	plan.Program.retime = &retimeState{
+		a:             a,
+		cfg:           cfg,
+		n:             n,
+		total:         pl.total,
+		starts:        pl.starts,
+		decisions:     pl.decisions,
+		prefetchSlots: pl.prefetchSlots,
+	}
 	return plan
 }
 
@@ -479,6 +492,7 @@ func (pl *planner) eachTouchedWindow(from, to units.Time, fn func(k0, kEnd int))
 
 func (pl *planner) schedulePrefetches() {
 	capBytes := float64(pl.cfg.GPUCapacity)
+	pl.prefetchSlots = make([]int, len(pl.decisions))
 	// §4.4: traverse evicted periods in latest-safe-prefetch-time order.
 	order := make([]int, len(pl.decisions))
 	for i := range order {
@@ -535,6 +549,7 @@ func (pl *planner) schedulePrefetches() {
 			k := (g%pl.n + pl.n) % pl.n
 			pl.pressure[k] += float64(size)
 		}
+		pl.prefetchSlots[i] = b
 		d.PrefetchBoundary = ((b % pl.n) + pl.n) % pl.n
 	}
 }

@@ -2,8 +2,10 @@ package planner
 
 import (
 	"fmt"
+	"sort"
 
 	"g10sim/internal/dnn"
+	"g10sim/internal/units"
 	"g10sim/internal/uvm"
 	"g10sim/internal/vitality"
 )
@@ -58,6 +60,28 @@ func (in Instr) String() string {
 type Program struct {
 	Graph      *dnn.Graph
 	Boundaries [][]Instr
+
+	// retime anchors online re-timing at the original plan (see Retime).
+	// Only programs built by planner.New carry it; emit-only programs
+	// (baselines, externally constructed decisions) are not retimable.
+	retime *retimeState
+}
+
+// retimeState is the planning-time context Retime rebuilds boundaries from.
+// Every field is read-only after planner.New returns, so retimed copies of
+// one program share it freely across goroutines.
+type retimeState struct {
+	a         *vitality.Analysis
+	cfg       Config
+	n         int
+	total     units.Time
+	starts    []units.Time
+	decisions []Decision
+	// prefetchSlots holds each decision's final global prefetch slot from
+	// the eager-rescheduling walk — the anchor Retime never issues later
+	// than (the modular PrefetchBoundary alone cannot recover it for
+	// wrapping periods).
+	prefetchSlots []int
 }
 
 // emit lowers vitality analysis plus migration decisions into the
@@ -125,4 +149,125 @@ func (p *Program) CountKind(k OpKind) int {
 // offline offload plan) into an instrumented program.
 func EmitProgram(a *vitality.Analysis, decisions []Decision) *Program {
 	return emit(a, decisions)
+}
+
+// Retiming scales the plan's transfer-time estimates by the inflation an
+// online controller observed on the shared substrate (realized transfer
+// duration over the exclusive-bandwidth duration the plan assumed, >= 1).
+type Retiming struct {
+	// FetchInflation stretches each prefetch's transfer window: the issue
+	// boundary moves early enough that the read, slowed by this factor,
+	// still lands by the plan's original deadline. 1 leaves prefetches at
+	// their planned boundaries.
+	FetchInflation float64
+	// EvictInflation stretches eviction write times when deferring.
+	EvictInflation float64
+	// DeferEvictions pushes each pre-eviction's issue boundary later while
+	// the write — at EvictInflation times its exclusive duration — still
+	// completes by the plan's original completion estimate. Intended for
+	// an idle device (EvictInflation ~ 1), where the plan's channel-queue
+	// pessimism leaves slack: tensors stay resident longer and a use
+	// before the deferred boundary cancels the eviction entirely.
+	DeferEvictions bool
+}
+
+// Retime rebuilds the instruction stream with each decision's prefetch
+// (and, optionally, pre-eviction) boundary re-timed against rt. Re-timing
+// is always anchored at the original plan — retiming a retimed program with
+// new factors recomputes from the same planning-time estimates, so factors
+// do not compound across iterations. A prefetch never issues later than its
+// planned boundary and never before the boundary after its eviction's
+// planned completion. The receiver is returned unchanged when the factors
+// ask for nothing (or the program is not retimable: it carries no plan).
+func (p *Program) Retime(rt Retiming) *Program {
+	rs := p.retime
+	if rs == nil || len(rs.decisions) == 0 {
+		return p
+	}
+	if rt.FetchInflation <= 1 && !rt.DeferEvictions {
+		return p
+	}
+	if rt.FetchInflation < 1 {
+		rt.FetchInflation = 1
+	}
+	if rt.EvictInflation < 1 {
+		rt.EvictInflation = 1
+	}
+	dec := make([]Decision, len(rs.decisions))
+	copy(dec, rs.decisions)
+	changed := false
+	for i := range dec {
+		d := &dec[i]
+		size := d.Period.Tensor.Size
+
+		// Prefetch: issue early enough that the transfer, stretched by the
+		// observed inflation, still meets the planned deadline.
+		span := d.Deadline - d.PrefetchStart
+		newStart := d.Deadline - units.Time(float64(span)*rt.FetchInflation)
+		g := rs.cyclicSlot(newStart)
+		if lim := rs.cyclicSlot(d.EvictDone) + 1; g < lim {
+			g = lim
+		}
+		if planned := rs.prefetchSlots[i]; g > planned {
+			g = planned // never later than the plan's eager boundary
+		}
+		if nb := rs.mod(g); nb != d.PrefetchBoundary {
+			d.PrefetchBoundary = nb
+			changed = true
+		}
+
+		// Pre-eviction: on an idle write path, defer the issue while the
+		// write still lands by the plan's (queue-pessimistic) completion.
+		if rt.DeferEvictions {
+			write := units.Duration(float64(writeTime(size, d.Target, rs.cfg)) * rt.EvictInflation)
+			e := d.EvictBoundary
+			for e+1 <= rs.n && e+1 < g &&
+				rs.starts[e+1]+write <= d.EvictDone {
+				e++
+			}
+			if e != d.EvictBoundary {
+				d.EvictBoundary = e
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return p
+	}
+	np := emit(rs.a, dec)
+	np.retime = rs
+	return np
+}
+
+// writeTime is the exclusive-bandwidth eviction write duration the plan
+// assumed for a decision's destination.
+func writeTime(size units.Bytes, target uvm.Location, cfg Config) units.Duration {
+	if target == uvm.InHost {
+		return units.TransferTime(size, cfg.HostWriteBW)
+	}
+	return units.TransferTime(size, cfg.SSDWriteBW)
+}
+
+// cyclicSlot maps a (possibly negative or wrapped) planning-timeline time to
+// a global slot number — the same mapping the planner's prefetch pass uses.
+func (rs *retimeState) cyclicSlot(t units.Time) int {
+	lap := 0
+	for t < 0 {
+		t += rs.total
+		lap--
+	}
+	for t >= rs.total {
+		t -= rs.total
+		lap++
+	}
+	k := sort.Search(rs.n, func(i int) bool { return rs.starts[i+1] > t })
+	if k >= rs.n {
+		k = rs.n - 1
+	}
+	return lap*rs.n + k
+}
+
+// mod folds a global slot into a boundary index in [0, n).
+func (rs *retimeState) mod(g int) int {
+	return ((g % rs.n) + rs.n) % rs.n
 }

@@ -1,0 +1,46 @@
+package policy
+
+import (
+	"g10sim/internal/adapt"
+	"g10sim/internal/gpu"
+	"g10sim/internal/planner"
+)
+
+// adaptiveG10 is a planning G10 variant with the online replanning layer
+// attached: between iterations the controller folds the machine's observed
+// migration lateness into per-direction inflation EMAs and re-times the
+// instrumented program against them (internal/adapt). Everything else —
+// planner, Belady-like MakeRoom fallback, scheduled late fetches — is the
+// wrapped policy's, and Name() stays the base policy's name: adaptation is
+// an attribute of the run, not a different design, and an uncontended
+// adaptive run must be bit-identical to the static one.
+type adaptiveG10 struct {
+	g10
+	ctl *adapt.Controller
+}
+
+// Adaptive attaches the online replanning controller to a planning G10
+// policy. Non-planning policies (the reactive baselines, which have no
+// instrumented program to re-time) are returned unchanged.
+func Adaptive(base gpu.Policy, acfg adapt.Config) gpu.Policy {
+	g, ok := base.(*g10)
+	if !ok {
+		return base
+	}
+	return &adaptiveG10{g10: *g, ctl: adapt.New(acfg)}
+}
+
+// G10Adaptive is the full G10 system (smart migrations + extended UVM)
+// with contention-adaptive re-timing.
+func G10Adaptive(pcfg planner.Config, acfg adapt.Config) gpu.Policy {
+	return Adaptive(G10Full(pcfg), acfg)
+}
+
+// NextProgram implements gpu.Replanner.
+func (p *adaptiveG10) NextProgram(iter int, sig gpu.LatenessSignal, cur *planner.Program) *planner.Program {
+	p.ctl.Observe(sig)
+	return p.ctl.NextProgram(cur)
+}
+
+// Controller exposes the replanning state (experiments report its view).
+func (p *adaptiveG10) Controller() *adapt.Controller { return p.ctl }

@@ -3,6 +3,7 @@ package policy
 import (
 	"testing"
 
+	"g10sim/internal/adapt"
 	"g10sim/internal/gpu"
 	"g10sim/internal/models"
 	"g10sim/internal/planner"
@@ -196,5 +197,35 @@ func TestPolicyNames(t *testing.T) {
 		if p.Name() != want {
 			t.Errorf("policy name %q != %q", p.Name(), want)
 		}
+	}
+}
+
+func TestAdaptiveWrapper(t *testing.T) {
+	// Adaptation is an attribute of the run, not a different design: the
+	// wrapped policy keeps the base name, plans, and implements the
+	// replanning hook.
+	p := G10Adaptive(planner.Config{}, adapt.Config{})
+	if p.Name() != "G10" {
+		t.Errorf("adaptive name = %q, want G10", p.Name())
+	}
+	if _, ok := p.(gpu.ProgramBuilder); !ok {
+		t.Error("adaptive G10 lost the program builder")
+	}
+	if _, ok := p.(gpu.Replanner); !ok {
+		t.Error("adaptive G10 does not implement Replanner")
+	}
+	for _, variant := range []gpu.Policy{G10Host(planner.Config{}), G10GDS(planner.Config{})} {
+		w := Adaptive(variant, adapt.Config{})
+		if w == variant {
+			t.Errorf("%s was not wrapped", variant.Name())
+		}
+		if w.Name() != variant.Name() {
+			t.Errorf("wrapped name %q != %q", w.Name(), variant.Name())
+		}
+	}
+	// Non-planning policies have no program to re-time: pass through.
+	base := BaseUVM()
+	if Adaptive(base, adapt.Config{}) != base {
+		t.Error("reactive policy was wrapped")
 	}
 }

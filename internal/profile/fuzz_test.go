@@ -1,0 +1,82 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"g10sim/internal/dnn"
+	"g10sim/internal/units"
+)
+
+// fuzzGraph is a tiny two-kernel graph the loader validates traces against.
+func fuzzGraph(tb testing.TB) *dnn.Graph {
+	tb.Helper()
+	b := dnn.NewBuilder("fuzz", 1)
+	x := b.Tensor("x", dnn.Intermediate, units.MB)
+	y := b.Tensor("y", dnn.Intermediate, units.MB)
+	b.Kernel("k0", dnn.Forward, 1, []*dnn.Tensor{x}, []*dnn.Tensor{y})
+	b.Kernel("k1", dnn.Backward, 1, []*dnn.Tensor{y}, []*dnn.Tensor{x})
+	return b.MustBuild()
+}
+
+// FuzzTraceLoad fuzzes the kernel-trace JSON loader behind `g10trace
+// -load`: whatever the bytes, Load must return a trace satisfying its
+// documented invariants or an error — never panic, and never accept a
+// trace that would later break the replay (non-positive durations, kernel
+// count mismatch). The seed corpus includes genuine `-save` output so the
+// mutator starts from the real wire format.
+func FuzzTraceLoad(f *testing.F) {
+	g := fuzzGraph(f)
+
+	// Seeds: a genuine Save round trip, plus edge shapes.
+	var saved bytes.Buffer
+	tr := Profile(g, A100(100))
+	if err := tr.Save(&saved); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(saved.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"model":"m","batch":1,"durations_ns":[1,2]}`))
+	f.Add([]byte(`{"durations_ns":[0]}`))
+	f.Add([]byte(`{"durations_ns":[-5,3]}`))
+	f.Add([]byte(`{"durations_ns":[9223372036854775807,1]}`))
+	f.Add([]byte(`{"model":` + strings.Repeat("[", 64) + strings.Repeat("]", 64) + `}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Unvalidated load (nil graph): must still enforce duration
+		// positivity and never panic.
+		tr, err := Load(bytes.NewReader(data), nil)
+		if err == nil {
+			for i, d := range tr.Durations {
+				if d <= 0 {
+					t.Fatalf("Load accepted non-positive duration %v at %d", d, i)
+				}
+			}
+			if tr.Total() < 0 {
+				t.Fatalf("accepted trace has negative total %v", tr.Total())
+			}
+			// A loadable trace must survive a Save/Load round trip.
+			var buf bytes.Buffer
+			if err := tr.Save(&buf); err != nil {
+				t.Fatalf("accepted trace failed to save: %v", err)
+			}
+			rt, err := Load(&buf, nil)
+			if err != nil {
+				t.Fatalf("round trip rejected: %v", err)
+			}
+			if len(rt.Durations) != len(tr.Durations) {
+				t.Fatalf("round trip changed kernel count: %d -> %d", len(tr.Durations), len(rt.Durations))
+			}
+		}
+
+		// Graph-validated load: anything accepted must match the graph.
+		tr, err = Load(bytes.NewReader(data), g)
+		if err == nil && len(tr.Durations) != len(g.Kernels) {
+			t.Fatalf("validated Load accepted %d durations for a %d-kernel graph",
+				len(tr.Durations), len(g.Kernels))
+		}
+	})
+}

@@ -164,9 +164,14 @@ func Load(r io.Reader, g *dnn.Graph) (*Trace, error) {
 				len(t.Durations), g.Name, len(g.Kernels))
 		}
 	}
+	var total units.Duration
 	for i, d := range t.Durations {
 		if d <= 0 {
 			return nil, fmt.Errorf("profile: kernel %d has non-positive duration %d", i, d)
+		}
+		total += d
+		if total < 0 {
+			return nil, fmt.Errorf("profile: trace total overflows at kernel %d", i)
 		}
 	}
 	return &t, nil

@@ -37,6 +37,10 @@ func (t Time) String() string {
 	switch {
 	case t == Forever:
 		return "forever"
+	case t == -1<<63:
+		// -2^63 has no positive counterpart; negating it would recurse
+		// forever (found by FuzzTraceLoad via an overflowing trace total).
+		return "-forever"
 	case t < 0:
 		return fmt.Sprintf("-%v", -t)
 	case t < Microsecond:

@@ -18,6 +18,9 @@ func TestTimeString(t *testing.T) {
 		{2 * Second, "2.000s"},
 		{Forever, "forever"},
 		{-45 * Microsecond, "-45.00µs"},
+		// -2^63 must not recurse on negation (FuzzTraceLoad regression).
+		{-1 << 63, "-forever"},
+		{-Forever, "-forever"},
 	}
 	for _, c := range cases {
 		if got := c.in.String(); got != c.want {
