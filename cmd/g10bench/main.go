@@ -14,6 +14,11 @@
 //	g10bench -fig colocate -short    # heterogeneous jobs on one array
 //	g10bench -fig all -json BENCH_figures.json   # machine-readable timings
 //	                                 # (includes the cluster-engine figures)
+//	g10bench -bench -short -workers 1 -json BENCH_smoke.json \
+//	         -gate BENCH_baseline.json           # CI regression gate: run the
+//	                                 # headline figures once, compare against
+//	                                 # the committed baseline (scaled by a
+//	                                 # machine-speed calibration), fail >20%
 package main
 
 import (
@@ -70,22 +75,153 @@ type benchRecord struct {
 type benchReport struct {
 	Suite      string        `json:"suite"`
 	Short      bool          `json:"short"`
+	Workers    int           `json:"workers"`
 	Models     []string      `json:"models,omitempty"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 	TotalNs    int64         `json:"total_ns"`
+	// CalibrationNs is the wall time of a fixed CPU-bound loop measured in
+	// the same process (-bench mode): the regression gate scales a committed
+	// baseline by the calibration ratio, so a slower or faster CI machine
+	// does not read as a code regression or mask one.
+	CalibrationNs int64 `json:"calibration_ns,omitempty"`
+}
+
+// headlineFigures is the -bench suite: the figures whose wall time the
+// BENCH.md trajectory and the CI regression gate track.
+const headlineFigures = "11,multigpu,colocate,fleet,adapt"
+
+// calibrate times a fixed xorshift loop, a machine-speed yardstick for
+// scaling committed baselines across runner generations.
+func calibrate() int64 {
+	t0 := time.Now()
+	x := uint64(88172645463325252)
+	for i := 0; i < 1<<26; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	if x == 0 { // defeat dead-code elimination
+		fmt.Fprintln(os.Stderr, x)
+	}
+	return time.Since(t0).Nanoseconds()
+}
+
+// gateDelta is one figure's baseline-vs-current comparison in the delta
+// artifact the CI gate publishes.
+type gateDelta struct {
+	Name             string  `json:"name"`
+	BaselineNs       int64   `json:"baseline_ns"`
+	ScaledBaselineNs int64   `json:"scaled_baseline_ns"`
+	CurrentNs        int64   `json:"current_ns"`
+	Ratio            float64 `json:"ratio"`
+	Regressed        bool    `json:"regressed"`
+}
+
+type gateReport struct {
+	Tolerance   float64     `json:"tolerance"`
+	CalibScale  float64     `json:"calibration_scale"`
+	Deltas      []gateDelta `json:"deltas"`
+	Regressions int         `json:"regressions"`
+}
+
+// runGate compares the current report against a committed baseline: each
+// figure's wall time may exceed the (machine-speed-scaled) baseline by at
+// most the tolerance factor. The full comparison is written to outPath as
+// the CI artifact; any regression is an error.
+func runGate(cur benchReport, baselinePath, outPath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("decoding %s: %w", baselinePath, err)
+	}
+	if base.Short != cur.Short {
+		return fmt.Errorf("baseline short=%v but this run short=%v; compare like with like", base.Short, cur.Short)
+	}
+	if base.Workers != cur.Workers {
+		return fmt.Errorf("baseline workers=%d but this run workers=%d; compare like with like", base.Workers, cur.Workers)
+	}
+	if fmt.Sprint(base.Models) != fmt.Sprint(cur.Models) {
+		return fmt.Errorf("baseline models=%v but this run models=%v; compare like with like", base.Models, cur.Models)
+	}
+	scale := 1.0
+	if base.CalibrationNs > 0 && cur.CalibrationNs > 0 {
+		scale = float64(cur.CalibrationNs) / float64(base.CalibrationNs)
+	}
+	baseNs := map[string]int64{}
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.Ns
+	}
+	rep := gateReport{Tolerance: tolerance, CalibScale: scale}
+	matched := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		bn, ok := baseNs[b.Name]
+		if !ok {
+			continue // new figure: no baseline yet
+		}
+		matched[b.Name] = true
+		scaled := int64(float64(bn) * scale)
+		d := gateDelta{Name: b.Name, BaselineNs: bn, ScaledBaselineNs: scaled, CurrentNs: b.Ns}
+		if scaled > 0 {
+			d.Ratio = float64(b.Ns) / float64(scaled)
+		}
+		// An absolute slack absorbs scheduler jitter on sub-100ms figures,
+		// where a few preempted milliseconds dwarf the relative tolerance.
+		const slackNs = 75e6
+		d.Regressed = float64(b.Ns) > float64(scaled)*tolerance+slackNs
+		if d.Regressed {
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+		fmt.Printf("gate: %-16s baseline %8.0fms (scaled %8.0fms) current %8.0fms ratio %.2f%s\n",
+			d.Name, float64(bn)/1e6, float64(scaled)/1e6, float64(b.Ns)/1e6, d.Ratio,
+			map[bool]string{true: "  REGRESSED", false: ""}[d.Regressed])
+	}
+	if outPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding gate report: %w", err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(outPath, out, 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", outPath, err)
+		}
+	}
+	// A baseline entry with no current counterpart means gate coverage
+	// silently shrank (a renamed or dropped figure) — refuse, so the
+	// baseline is refreshed deliberately instead.
+	for _, b := range base.Benchmarks {
+		if !matched[b.Name] {
+			return fmt.Errorf("baseline figure %q was not produced by this run; refresh %s", b.Name, baselinePath)
+		}
+	}
+	if rep.Regressions > 0 {
+		return fmt.Errorf("%d of %d figures regressed beyond %.0f%% of the scaled baseline",
+			rep.Regressions, len(rep.Deltas), (tolerance-1)*100)
+	}
+	return nil
 }
 
 func main() {
 	var (
 		fig        = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate,fleet,adapt, or 'all'")
+		bench      = flag.Bool("bench", false, "run the headline benchmark figures ("+headlineFigures+") once each, with a machine-speed calibration, and emit the timing JSON the CI gate consumes (see -json/-gate)")
 		short      = flag.Bool("short", false, "shrunken workloads for a fast pass")
 		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
 		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
 		jsonPath   = flag.String("json", "", "write per-figure timings as JSON (BENCH_*.json perf-trajectory format) to this path")
+		gatePath   = flag.String("gate", "", "compare this run's timings against the baseline JSON at this path; exit nonzero on regression")
+		gateOut    = flag.String("gateout", "BENCH_delta.json", "write the gate's per-figure delta report to this path (with -gate)")
+		gateTol    = flag.Float64("gatetol", 1.20, "regression tolerance: a figure fails the gate above this multiple of its scaled baseline")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to this path")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the figure runs) to this path")
 	)
 	flag.Parse()
+	if *bench {
+		*fig = headlineFigures
+	}
 
 	// Profiles bracket the figure runs; run() returns instead of exiting so
 	// the deferred profile writers always flush (pprof evidence survives a
@@ -127,13 +263,13 @@ func main() {
 		}()
 	}
 
-	if err := run(*fig, *short, *models, *workers, *jsonPath); err != nil {
+	if err := run(*fig, *short, *models, *workers, *jsonPath, *bench, *gatePath, *gateOut, *gateTol); err != nil {
 		fmt.Fprintf(os.Stderr, "g10bench: %v\n", err)
 		failed = true
 	}
 }
 
-func run(fig string, short bool, models string, workers int, jsonPath string) error {
+func run(fig string, short bool, models string, workers int, jsonPath string, bench bool, gatePath, gateOut string, gateTol float64) error {
 	opt := experiments.Options{Short: short, W: os.Stdout, Workers: workers}
 	if models != "" {
 		opt.Models = strings.Split(models, ",")
@@ -151,7 +287,10 @@ func run(fig string, short bool, models string, workers int, jsonPath string) er
 		}
 	}
 
-	report := benchReport{Suite: "g10bench-figures", Short: short, Models: opt.Models}
+	report := benchReport{Suite: "g10bench-figures", Short: short, Workers: workers, Models: opt.Models}
+	if bench || gatePath != "" {
+		report.CalibrationNs = calibrate()
+	}
 	ran := 0
 	for _, f := range figures {
 		if !want[f.name] {
@@ -179,6 +318,9 @@ func run(fig string, short bool, models string, workers int, jsonPath string) er
 		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
 			return fmt.Errorf("writing %s: %w", jsonPath, err)
 		}
+	}
+	if gatePath != "" {
+		return runGate(report, gatePath, gateOut, gateTol)
 	}
 	return nil
 }

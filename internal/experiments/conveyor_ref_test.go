@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"g10sim/internal/gpu"
+)
+
+// TestChunkReferenceMatchesGolden closes the conveyor differential at full
+// figure scale: the retained naive per-chunk migration path must reproduce
+// the committed golden snapshots byte for byte. TestGoldenFigures pins the
+// production conveyor path against the same files, so together they pin
+// conveyor == per-chunk reference across every model × policy (figure 11),
+// the cluster engine's fleet workload, and adaptive replanning runs.
+func TestChunkReferenceMatchesGolden(t *testing.T) {
+	gpu.ForceChunkReferenceForTest(true)
+	defer gpu.ForceChunkReferenceForTest(false)
+	sw := &switchWriter{}
+	s := NewSession(Options{Short: true, Models: goldenModels, W: sw})
+	for _, name := range []string{"11", "fleet", "adapt"} {
+		for _, fig := range goldenFigures {
+			if fig.name != name {
+				continue
+			}
+			t.Run(name, func(t *testing.T) {
+				var buf bytes.Buffer
+				sw.w = &buf
+				defer func() { sw.w = nil }()
+				if err := fig.run(s); err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join("testdata", "figure-"+name+".golden")
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing snapshot: %v", err)
+				}
+				if got := buf.Bytes(); !bytes.Equal(got, want) {
+					t.Errorf("per-chunk reference drifted from golden figure %s%s", name, goldenDiff(want, got))
+				}
+			})
+		}
+	}
+}

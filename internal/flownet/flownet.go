@@ -17,7 +17,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 
 	"g10sim/internal/units"
 )
@@ -61,6 +60,7 @@ type Flow struct {
 	// CompletedAt is set when the flow finishes.
 	CompletedAt units.Time
 
+	net       *Network
 	route     []*Resource
 	remaining float64 // bytes
 	rate      float64 // bytes/sec
@@ -81,8 +81,15 @@ type Flow struct {
 // Done reports whether the flow has completed.
 func (f *Flow) Done() bool { return f.done }
 
-// Rate reports the flow's current allocated bandwidth.
-func (f *Flow) Rate() units.Bandwidth { return units.Bandwidth(f.rate) }
+// Rate reports the flow's current allocated bandwidth, applying any pending
+// rate re-derivation first (rates are derived lazily between observation
+// points).
+func (f *Flow) Rate() units.Bandwidth {
+	if f.net != nil {
+		f.net.flushRates()
+	}
+	return units.Bandwidth(f.rate)
+}
 
 // Remaining reports the bytes not yet transferred.
 func (f *Flow) Remaining() units.Bytes { return units.Bytes(math.Ceil(f.remaining)) }
@@ -117,6 +124,64 @@ type Network struct {
 	busyStamp   uint64
 	// doneBuf accumulates one AdvanceTo call's completions; reused.
 	doneBuf []*Flow
+
+	// Conveyor (chunk-train) bookkeeping. AdvanceEventwise opens a deferred
+	// window around each internal event: reap skips its recompute and the
+	// post-delivery settle() decides whether one is needed at all. When every
+	// completion of the batch was replaced in place by Succeed and no
+	// recompute intervened, the active route multiset — and therefore the
+	// unique max-min allocation — is unchanged, and the event costs no
+	// recompute (see DESIGN.md §10).
+	//
+	// deferSettle marks the reap-deferral window (inside AdvanceEventwise's
+	// per-event advance); pendingSettle marks a deferred batch awaiting
+	// settle; reapGen snapshots the recompute counter when the batch formed;
+	// reapedN/succeededN count the batch's completions and in-place
+	// successions.
+	deferSettle   bool
+	pendingSettle bool
+	reapGen       int64
+	reapedN       int
+	succeededN    int
+
+	// recomputes counts rate re-derivations; successions counts completions
+	// advanced in place without one. Observability for tests and benchmarks:
+	// a pure chunk train's event count scales with rate-change points, not
+	// chunk count.
+	recomputes  int64
+	successions int64
+
+	// nextEvCache memoises NextEvent between state changes: the drivers ask
+	// for the next event several times per consumed event (the advance loop,
+	// the scheduler's clock bound, the post-settle re-check), and each ask
+	// otherwise pays a heap inspection. Any mutation — recompute, flow
+	// start/succession, progress, reap — clears nextEvOK.
+	nextEvCache units.Time
+	nextEvOK    bool
+
+	// ratesDirty defers rate re-derivation to the next observation point
+	// (NextEvent, progress, Rate). Rates are only meaningful when simulated
+	// time moves or an event time is asked for, so every mutation within one
+	// instant — a transfer set starting five flows, a completion batch plus
+	// its reactions — coalesces into a single recompute. Values at every
+	// observation are identical to eager recomputation: the max-min
+	// allocation is a pure function of the active route multiset and
+	// capacities, not of the mutation order that produced them.
+	ratesDirty bool
+}
+
+// dirtyRates marks the allocation stale; flushRates re-derives it at the
+// next observation.
+func (n *Network) dirtyRates() {
+	n.ratesDirty = true
+	n.nextEvOK = false
+}
+
+func (n *Network) flushRates() {
+	if n.ratesDirty {
+		n.ratesDirty = false
+		n.recompute()
+	}
 }
 
 // compEntry is one flow keyed by a completion time computed at some earlier
@@ -199,6 +264,14 @@ func New() *Network {
 // Now reports the network clock.
 func (n *Network) Now() units.Time { return n.now }
 
+// Recomputes reports how many max-min rate re-derivations the network has
+// performed.
+func (n *Network) Recomputes() int64 { return n.recomputes }
+
+// Successions reports how many flow completions were advanced in place by
+// Succeed without a rate recompute (the conveyor fast path).
+func (n *Network) Successions() int64 { return n.successions }
+
 // AddResource registers a resource. Names must be unique.
 func (n *Network) AddResource(name string, cap units.Bandwidth) *Resource {
 	if _, dup := n.resIndex[name]; dup {
@@ -221,7 +294,7 @@ func (n *Network) SetCapacity(r *Resource, cap units.Bandwidth) {
 		return
 	}
 	r.capacity = float64(cap)
-	n.recompute()
+	n.dirtyRates()
 }
 
 // Start launches a flow at the current time.
@@ -247,6 +320,7 @@ func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data an
 		Data:      data,
 		Owner:     -1,
 		StartAt:   at,
+		net:       n,
 		route:     route,
 		remaining: float64(size),
 	}
@@ -258,6 +332,7 @@ func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data an
 		n.activate(f)
 	} else {
 		heap.Push(&n.dormant, f)
+		n.nextEvOK = false
 	}
 	return f
 }
@@ -265,18 +340,25 @@ func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data an
 func (n *Network) activate(f *Flow) {
 	f.active = true
 	n.active = append(n.active, f)
-	n.recompute()
+	n.dirtyRates()
 }
 
 // NextEvent reports the earliest time at which the network's state changes on
 // its own: a dormant flow activates or an active flow completes. Returns
 // Forever when nothing is pending.
 func (n *Network) NextEvent() units.Time {
+	if n.nextEvOK {
+		return n.nextEvCache
+	}
+	n.flushRates()
 	next := units.Forever
 	if len(n.dormant) > 0 {
 		next = units.MinTime(next, n.dormant[0].StartAt)
 	}
-	return units.MinTime(next, n.minCompletion())
+	next = units.MinTime(next, n.minCompletion())
+	n.nextEvCache = next
+	n.nextEvOK = true
+	return next
 }
 
 // completionSlack bounds how far a stored completion time can drift from
@@ -399,14 +481,89 @@ func (n *Network) AdvanceEventwise(t units.Time, deliver func(done []*Flow)) {
 		if e > t {
 			break
 		}
-		deliver(n.AdvanceTo(e))
+		n.deferSettle = true
+		done := n.AdvanceTo(e)
+		n.deferSettle = false
+		deliver(done)
+		n.settle()
 	}
 	// The final advance normally completes nothing, but a flow whose
 	// remaining bytes round below the completion threshold at t can still
 	// finish here — deliver those too rather than dropping them.
-	if done := n.AdvanceTo(t); len(done) > 0 {
+	n.deferSettle = true
+	done := n.AdvanceTo(t)
+	n.deferSettle = false
+	if len(done) > 0 {
 		deliver(done)
 	}
+	n.settle()
+}
+
+// settle closes a deferred completion batch: if every completed flow was
+// replaced in place by Succeed and no recompute intervened, the active route
+// multiset is unchanged and the rates in force are already the unique
+// max-min allocation — the whole event cost no recompute. Any other outcome
+// (a chunk train ended, a fetch blocked on memory, a capacity change, a new
+// or activated flow) re-derives rates once, exactly as the per-flow path
+// would have.
+func (n *Network) settle() {
+	if !n.pendingSettle {
+		return
+	}
+	n.pendingSettle = false
+	if !n.ratesDirty && n.recomputes == n.reapGen && n.succeededN == n.reapedN {
+		n.successions += int64(n.succeededN)
+		return
+	}
+	n.dirtyRates()
+}
+
+// Succeed replaces a just-completed flow with its successor in place: same
+// route, same owner, same payload, active immediately at the current clock
+// with no setup latency. It must be called from within an AdvanceEventwise
+// delivery callback, on a flow of the batch being delivered. When the whole
+// batch is succeeded this way the event skips rate recomputation entirely
+// (the route multiset is unchanged, so the max-min allocation is too); in
+// every other situation the network falls back to a full re-derivation, so
+// semantics never depend on the fast path firing. The flow object is reused;
+// it carries a fresh ID, Size, StartAt, and remaining byte count, exactly as
+// a StartAt of the successor would have produced.
+func (n *Network) Succeed(f *Flow, size units.Bytes) *Flow {
+	if !f.done || f.active {
+		panic("flownet: Succeed on a flow that has not completed")
+	}
+	n.nextID++
+	f.ID = n.nextID
+	f.Size = size
+	f.remaining = float64(size)
+	if f.remaining < 0 {
+		f.remaining = 0
+	}
+	f.done = false
+	f.active = true
+	f.StartAt = n.now
+	f.CompletedAt = 0
+	n.active = append(n.active, f)
+	n.nextEvOK = false
+	if n.pendingSettle {
+		// Deferred window: keep the predecessor's rate (identical by max-min
+		// uniqueness if the batch stays pure; otherwise settle re-derives).
+		n.succeededN++
+		if n.heapMode {
+			f.compGen++
+			f.inComp = true
+			n.comp.push(compEntry{f: f, at: n.completionTime(f), gen: f.compGen})
+		} else {
+			f.inComp = false
+		}
+		return f
+	}
+	// Outside a deferred delivery (plain AdvanceTo callers): equivalent to
+	// starting the successor normally.
+	f.compGen++
+	f.inComp = false
+	n.dirtyRates()
+	return f
 }
 
 // step advances exactly to internal event time e, handling activations and
@@ -423,7 +580,7 @@ func (n *Network) step(e units.Time) {
 		activated = true
 	}
 	if activated {
-		n.recompute()
+		n.dirtyRates()
 	}
 }
 
@@ -432,6 +589,8 @@ func (n *Network) progress(to units.Time) {
 	if to <= n.now {
 		return
 	}
+	n.flushRates()
+	n.nextEvOK = false
 	dt := (to - n.now).Seconds()
 	for _, f := range n.active {
 		if f.rate <= 0 {
@@ -468,8 +627,34 @@ func (n *Network) reap() {
 	}
 	n.active = kept
 	if done := n.doneBuf[start:]; len(done) > 0 {
-		n.recompute()
-		sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+		if n.deferSettle {
+			// Conveyor window: leave rates as they are; settle() re-derives
+			// after delivery unless every completion is succeeded in place.
+			// reapGen is pinned at the first batch of the window, so any
+			// intervening recompute (a dormant activation, a second reap)
+			// disqualifies the fast path for the whole window.
+			if !n.pendingSettle {
+				n.pendingSettle = true
+				n.reapGen = n.recomputes
+				n.reapedN, n.succeededN = 0, 0
+			}
+			n.reapedN += len(done)
+		} else {
+			n.dirtyRates()
+		}
+		n.nextEvOK = false
+		// Order the batch by flow ID. Insertion sort: batches are almost
+		// always one or two flows, and this avoids sort.Slice's closure and
+		// swapper allocations on the per-event path.
+		for i := 1; i < len(done); i++ {
+			f := done[i]
+			j := i - 1
+			for j >= 0 && done[j].ID > f.ID {
+				done[j+1] = done[j]
+				j--
+			}
+			done[j+1] = f
+		}
 	}
 }
 
@@ -480,6 +665,8 @@ func (n *Network) reap() {
 // bottleneck ties break exactly as a full scan would), and the completion
 // index is re-keyed only for flows whose rate actually changed.
 func (n *Network) recompute() {
+	n.recomputes++
+	n.nextEvOK = false
 	n.busyStamp++
 	busy := n.busyScratch[:0]
 	unfrozen := 0

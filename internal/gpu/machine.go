@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"g10sim/internal/dnn"
 	"g10sim/internal/flownet"
@@ -85,6 +86,10 @@ type tensorState struct {
 	flash   ssd.LogicalRange
 	hasRng  bool
 	lastUse units.Time
+	// labels are the tensor's interned "kind:name" flow labels, one per
+	// uvm.RequestKind, built once at machine construction so the migration
+	// hot path never concatenates strings.
+	labels [3]string
 	// inLRU marks membership in the machine's resident-LRU index; lruPrev/
 	// lruNext are its links (tensor ids, -1 at the ends). The index key is
 	// (lastUse, id), so lastUse must only change while the tensor is
@@ -150,6 +155,17 @@ type Machine struct {
 	// lat is the cumulative migration-lateness ledger (see lateness.go);
 	// the runner snapshots per-iteration deltas for adaptive policies.
 	lat LatenessSignal
+
+	// migPool recycles migration structs: a migration returns to the pool
+	// when it commits, cancels, or unwinds, so steady-state chunk trains
+	// allocate nothing. routes holds the four possible route slices (fixed
+	// once the policy's DirectFlash choice is known at bind time); every
+	// migration aliases one of them read-only.
+	migPool []*migration
+	reqPool []*uvm.Request
+	routes  struct {
+		evictFlash, evictHost, fetchFlash, fetchHost []*flownet.Resource
+	}
 
 	// Counters (cumulative; the runner snapshots around the measured
 	// iteration).
@@ -225,7 +241,12 @@ func newTenantShell(a *vitality.Analysis, cfg Config, net *flownet.Network, tag 
 	m.states = make([]tensorState, len(m.g.Tensors))
 	var va uint64 = 1 << 21 // leave page zero unmapped
 	for id, t := range m.g.Tensors {
-		m.states[id] = tensorState{t: t, loc: uvm.Unmapped, va: va, lruPrev: -1, lruNext: -1}
+		m.states[id] = tensorState{t: t, loc: uvm.Unmapped, va: va, lruPrev: -1, lruNext: -1,
+			labels: [3]string{
+				uvm.FaultFetch: uvm.FaultFetch.String() + ":" + t.Name,
+				uvm.Prefetch:   uvm.Prefetch.String() + ":" + t.Name,
+				uvm.PreEvict:   uvm.PreEvict.String() + ":" + t.Name,
+			}}
 		va += uint64(m.pagesOf(t)) * uint64(cfg.TranslationGranularity)
 	}
 	return m
@@ -237,6 +258,15 @@ func (m *Machine) bind(sh *Shared, pol Policy) {
 	m.dev = sh.dev.Tenant()
 	m.host = sh.host
 	m.pol = pol
+	if pol.DirectFlash() {
+		m.routes.evictFlash = []*flownet.Resource{m.pcieOut, sh.ssdWrite}
+		m.routes.fetchFlash = []*flownet.Resource{sh.ssdRead, m.pcieIn}
+	} else {
+		m.routes.evictFlash = []*flownet.Resource{m.pcieOut, sh.ssdWrite, sh.hostBusOut}
+		m.routes.fetchFlash = []*flownet.Resource{sh.ssdRead, m.pcieIn, sh.hostBusIn}
+	}
+	m.routes.evictHost = []*flownet.Resource{m.pcieOut, sh.hostBusOut}
+	m.routes.fetchHost = []*flownet.Resource{sh.hostBusIn, m.pcieIn}
 	pol.Attach(m)
 }
 
@@ -470,6 +500,7 @@ func (m *Machine) release(st *tensorState) {
 		st.mig = nil
 		st.fly = nil
 		st.pend = nil
+		m.putMigration(mig)
 		if st.hasRng {
 			m.dev.Free(st.flash)
 			st.hasRng = false
@@ -506,7 +537,8 @@ func (m *Machine) RequestEvict(id int, dst uvm.Location) bool {
 	if dst != uvm.InHost && dst != uvm.InFlash {
 		return false
 	}
-	r := &uvm.Request{Kind: uvm.PreEvict, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: uvm.InGPU, Dst: dst}
+	r := m.getRequest()
+	*r = uvm.Request{Kind: uvm.PreEvict, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: uvm.InGPU, Dst: dst}
 	m.untrack(st)
 	st.pend = r
 	m.track(st)
@@ -557,7 +589,8 @@ func (m *Machine) requestFetch(id int, kind uvm.RequestKind, scheduled bool) boo
 		// instrumented runtime services it as a scheduled transfer (§4.6).
 		m.lat.LateFetches++
 	}
-	r := &uvm.Request{Kind: kind, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: st.loc, Dst: uvm.InGPU, Scheduled: scheduled}
+	r := m.getRequest()
+	*r = uvm.Request{Kind: kind, TensorID: id, VA: st.va, Bytes: st.t.Size, Src: st.loc, Dst: uvm.InGPU, Scheduled: scheduled}
 	m.untrack(st)
 	st.pend = r
 	m.track(st)
@@ -579,7 +612,8 @@ func (m *Machine) dispatch() {
 		for _, r := range set {
 			st := &m.states[r.TensorID]
 			if st.pend != r {
-				continue // stale: cancelled or superseded
+				m.putRequest(r) // stale: cancelled or superseded, and now unreferenced
+				continue
 			}
 			if m.startFlow(r, st) {
 				progress = true
@@ -609,11 +643,46 @@ func (m *Machine) startFlow(r *uvm.Request, st *tensorState) bool {
 	return m.startChunk(st)
 }
 
+// getMigration pops a pooled migration struct (or allocates the pool's
+// first); putMigration returns one once nothing references it.
+func (m *Machine) getMigration() *migration {
+	if n := len(m.migPool); n > 0 {
+		mig := m.migPool[n-1]
+		m.migPool = m.migPool[:n-1]
+		*mig = migration{}
+		return mig
+	}
+	return &migration{}
+}
+
+func (m *Machine) putMigration(mig *migration) {
+	m.migPool = append(m.migPool, mig)
+}
+
+// getRequest pops a pooled metadata-queue request. putRequest returns one —
+// only at points where it provably sits in no queue (a committed migration's
+// request, or a superseded request the dispatcher just popped), so a pooled
+// request is never aliased by a live queue entry.
+func (m *Machine) getRequest() *uvm.Request {
+	if n := len(m.reqPool); n > 0 {
+		r := m.reqPool[n-1]
+		m.reqPool = m.reqPool[:n-1]
+		*r = uvm.Request{}
+		return r
+	}
+	return &uvm.Request{}
+}
+
+func (m *Machine) putRequest(r *uvm.Request) {
+	m.reqPool = append(m.reqPool, r)
+}
+
 // beginMigration performs the once-per-tensor setup of a migration.
 func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, bool) {
 	size := st.t.Size
-	mig := &migration{owner: m, id: r.TensorID, kind: r.Kind, src: r.Src, dst: r.Dst, size: size, inflate: 1, latency: m.cfg.DMALatency}
-	mig.label = r.Kind.String() + ":" + st.t.Name
+	mig := m.getMigration()
+	mig.owner, mig.id, mig.kind, mig.src, mig.dst = m, r.TensorID, r.Kind, r.Src, r.Dst
+	mig.size, mig.inflate, mig.latency = size, 1, m.cfg.DMALatency
 
 	switch r.Kind {
 	case uvm.PreEvict:
@@ -625,6 +694,7 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 				rng, err := m.dev.Alloc(m.dev.PagesFor(size))
 				if err != nil {
 					m.fail(fmt.Sprintf("ssd alloc: %v", err))
+					m.putMigration(mig)
 					return nil, false
 				}
 				st.flash = rng
@@ -647,6 +717,7 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 			}
 			if err := m.dev.Read(st.flash); err != nil {
 				m.fail(fmt.Sprintf("ssd read: %v", err))
+				m.putMigration(mig)
 				return nil, false
 			}
 		}
@@ -668,47 +739,65 @@ func (m *Machine) beginMigration(r *uvm.Request, st *tensorState) (*migration, b
 			m.faultedBytes += size
 		}
 	default:
+		m.putMigration(mig)
 		return nil, false
 	}
+	mig.label = st.labels[r.Kind] // kind validated by the switch above
 	mig.route = m.route(mig)
 	return mig, true
 }
 
 // route returns the resources a migration's flows traverse: this tenant's
-// PCIe link plus the substrate's shared SSD channels and host bus.
+// PCIe link plus the substrate's shared SSD channels and host bus. The four
+// slices are built once at bind time and shared read-only.
 func (m *Machine) route(mig *migration) []*flownet.Resource {
 	switch {
 	case mig.kind == uvm.PreEvict && mig.dst == uvm.InFlash:
-		if m.pol.DirectFlash() {
-			return []*flownet.Resource{m.pcieOut, m.sh.ssdWrite}
-		}
-		return []*flownet.Resource{m.pcieOut, m.sh.ssdWrite, m.sh.hostBusOut}
+		return m.routes.evictFlash
 	case mig.kind == uvm.PreEvict:
-		return []*flownet.Resource{m.pcieOut, m.sh.hostBusOut}
+		return m.routes.evictHost
 	case mig.src == uvm.InFlash:
-		if m.pol.DirectFlash() {
-			return []*flownet.Resource{m.sh.ssdRead, m.pcieIn}
-		}
-		return []*flownet.Resource{m.sh.ssdRead, m.pcieIn, m.sh.hostBusIn}
+		return m.routes.fetchFlash
 	default:
-		return []*flownet.Resource{m.sh.hostBusIn, m.pcieIn}
+		return m.routes.fetchHost
 	}
 }
 
-// startChunk launches the next chunk of a migration. Fetch chunks claim
-// GPU memory up front and return false (leaving the request queued) when
-// none is free.
-func (m *Machine) startChunk(st *tensorState) bool {
-	mig := st.mig
+// forceChunkReference switches migrations to the naive per-chunk reference
+// path (a fresh flow per chunk, full rate recompute at every boundary);
+// differential tests use it to pin the conveyor fast path bit-identical.
+var forceChunkReference atomic.Bool
+
+// ForceChunkReferenceForTest selects the retained per-chunk reference path
+// for subsequent runs. Tests only; the conveyor is the production path.
+func ForceChunkReferenceForTest(v bool) { forceChunkReference.Store(v) }
+
+// nextChunk sizes and (for fetches) claims GPU memory for the migration's
+// next chunk. Reports false when a fetch must wait for space — the memory
+// claim is the semantic boundary that forces the slow path: a conveyor may
+// only keep rolling while each chunk's destination memory is granted.
+func (m *Machine) nextChunk(mig *migration) (units.Bytes, bool) {
 	chunk := m.cfg.MigrationChunk
 	if rem := mig.size - mig.moved; chunk > rem {
 		chunk = rem
 	}
 	if mig.kind != uvm.PreEvict {
 		if m.gpuUsed+chunk > m.cfg.GPUCapacity {
-			return false // wait for space
+			return 0, false // wait for space
 		}
 		m.gpuUsed += chunk
+	}
+	return chunk, true
+}
+
+// startChunk launches the next chunk of a migration as a fresh flow. Fetch
+// chunks claim GPU memory up front and return false (leaving the request
+// queued) when none is free.
+func (m *Machine) startChunk(st *tensorState) bool {
+	mig := st.mig
+	chunk, ok := m.nextChunk(mig)
+	if !ok {
+		return false
 	}
 	mig.chunk = chunk
 	flowBytes := units.Bytes(float64(chunk) * mig.inflate)
@@ -717,6 +806,29 @@ func (m *Machine) startChunk(st *tensorState) bool {
 	m.untrack(st)
 	st.fly = m.net.StartAt(mig.label, flowBytes, m.Now()+lat, mig, mig.route...)
 	st.fly.Owner = m.idx
+	m.inflight++
+	m.track(st)
+	return true
+}
+
+// continueChunk advances a chunk train at one of its boundaries: the just-
+// finished flow is succeeded in place on the same route (the conveyor fast
+// path — no teardown, no recompute unless the flownet detects the event was
+// impure). Memory-tight fetches and the test reference hook fall back to
+// startChunk's fresh-flow slow path, which is observationally identical.
+func (m *Machine) continueChunk(st *tensorState, f *flownet.Flow) bool {
+	mig := st.mig
+	if forceChunkReference.Load() || mig.latency != 0 {
+		return m.startChunk(st)
+	}
+	chunk, ok := m.nextChunk(mig)
+	if !ok {
+		return false
+	}
+	mig.chunk = chunk
+	flowBytes := units.Bytes(float64(chunk) * mig.inflate)
+	m.untrack(st)
+	st.fly = m.net.Succeed(f, flowBytes)
 	m.inflight++
 	m.track(st)
 	return true
@@ -792,7 +904,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 	if mig.moved < mig.size {
 		// Continue the chain. A blocked fetch chunk goes back to its
 		// metadata queue and resumes when memory frees.
-		if !m.startChunk(st) {
+		if !m.continueChunk(st, f) {
 			m.queues.Push(st.pend)
 		}
 		return
@@ -800,8 +912,12 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 
 	// Final chunk: commit.
 	m.untrack(st)
+	req := st.pend // committed: provably in no metadata queue
 	st.mig = nil
 	st.pend = nil
+	if req != nil {
+		m.putRequest(req)
+	}
 	pages := m.pagesOf(st.t)
 	switch mig.kind {
 	case uvm.PreEvict:
@@ -810,6 +926,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 			if _, err := m.dev.Write(st.flash); err != nil {
 				m.fail(fmt.Sprintf("ssd write: %v", err))
 				m.track(st)
+				m.putMigration(mig)
 				return
 			}
 			m.refreshSSDWrite()
@@ -827,6 +944,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 	}
 	m.track(st)
 	m.tlb.InvalidateRange(st.va, pages)
+	m.putMigration(mig)
 	if st.dying {
 		m.release(st)
 	}
@@ -855,6 +973,7 @@ func (m *Machine) cancelStalledFetches(pinned map[int]bool) units.Bytes {
 		st.mig = nil
 		st.pend = nil
 		m.track(st)
+		m.putMigration(mig)
 	}
 	return freed
 }

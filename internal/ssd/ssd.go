@@ -141,13 +141,17 @@ type Stats struct {
 }
 
 // chunkBits sizes the lazily-materialised FTL array chunks (entries per
-// chunk).
-const chunkBits = 16
+// chunk). 8K entries (64KB for int64 chunks) keeps materialisation close to
+// the pages actually touched; GC-churned physical regions still amortise the
+// chunk header over thousands of entries.
+const chunkBits = 13
 
 // pagedI64 is a chunked int64 array: untouched chunks read as def and cost
 // nothing. Chunking avoids both the O(capacity) zero-fill of an eager array
 // and the copy churn of a growing one — the simulator touches a few percent
-// of a multi-TB device per run.
+// of a multi-TB device per run. Entries are stored biased by -def, so a
+// freshly materialised chunk is plain zeroed memory (no fill loop) yet reads
+// back as def.
 type pagedI64 struct {
 	chunks [][]int64
 	def    int64
@@ -162,7 +166,7 @@ func (p *pagedI64) at(i int64) int64 {
 	if c == nil {
 		return p.def
 	}
-	return c[i&(1<<chunkBits-1)]
+	return c[i&(1<<chunkBits-1)] + p.def
 }
 
 func (p *pagedI64) set(i int64, v int64) {
@@ -170,14 +174,9 @@ func (p *pagedI64) set(i int64, v int64) {
 	c := p.chunks[ci]
 	if c == nil {
 		c = make([]int64, 1<<chunkBits)
-		if p.def != 0 {
-			for j := range c {
-				c[j] = p.def
-			}
-		}
 		p.chunks[ci] = c
 	}
-	c[i&(1<<chunkBits-1)] = v
+	c[i&(1<<chunkBits-1)] = v - p.def
 }
 
 // pagedU8 is the uint8 counterpart (untouched chunks read as zero).
@@ -239,12 +238,21 @@ type Device struct {
 	// the next unpopped element instead of a materialised slice.
 	virginNext []int64   // per chip: next never-used block, ≥ blocks when exhausted
 	recycled   [][]int64 // per chip: erased blocks, pop from the front
+	// onFreeList marks blocks currently in a recycled list, so GC's victim
+	// scan tests membership in O(1) instead of scanning the list per block.
+	onFreeList []bool
 	nextChip   int
 
 	allocCursor int64
 	freeList    []LogicalRange
 
 	stats Stats
+	// effWrite caches EffectiveWriteBandwidth between writes: the GPU layer
+	// re-derives the shared ssd-write channel after every device write, and
+	// in the common no-GC case the write-amplification ratio — and with it
+	// the sustained bandwidth — is unchanged since last time.
+	effWrite   units.Bandwidth
+	effWriteOK bool
 	// tenants indexes every attribution view handed out by Tenant(), in
 	// registration order; a view's ID is its slot, so per-tenant lookups
 	// and end-of-run aggregation stay O(1) per view under hundreds of
@@ -284,6 +292,7 @@ func New(cfg Config) (*Device, error) {
 		reverse:        newPagedI64(physPages, unmapped),
 		pageState:      newPagedU8(physPages),
 		validInBlock:   make([]int32, blocks),
+		onFreeList:     make([]bool, blocks),
 		writePtr:       make([]int64, chips),
 		activeBlock:    make([]int64, chips),
 		virginNext:     make([]int64, chips),
@@ -317,6 +326,7 @@ func (d *Device) popFreeBlock(chip int) int64 {
 	if rs := d.recycled[chip]; len(rs) > 0 {
 		b := rs[0]
 		d.recycled[chip] = rs[1:]
+		d.onFreeList[b] = false
 		return b
 	}
 	return -1
@@ -324,15 +334,7 @@ func (d *Device) popFreeBlock(chip int) int64 {
 
 // isFree reports whether block b (owned by chip) is on the free list.
 func (d *Device) isFree(chip int, b int64) bool {
-	if b >= d.virginNext[chip] {
-		return true // virgin, never popped
-	}
-	for _, fb := range d.recycled[chip] {
-		if fb == b {
-			return true
-		}
-	}
-	return false
+	return b >= d.virginNext[chip] /* virgin, never popped */ || d.onFreeList[b]
 }
 
 // MustNew is New for known-good configs.
@@ -404,6 +406,9 @@ func (d *Device) invalidate(pp int64) {
 // GC relocated as a side effect (the caller charges that work to the
 // device's internal bandwidth).
 func (d *Device) Write(r LogicalRange) (gcRelocated int64, err error) {
+	// Invalidate up front: even a failing write may already have programmed
+	// pages and run GC, moving the write-amplification ratio.
+	d.effWriteOK = false
 	before := d.stats.GCRelocated
 	for lp := r.Start; lp < r.Start+r.Count; lp++ {
 		if lp < 0 || lp >= d.logicalPages {
@@ -528,6 +533,7 @@ func (d *Device) collect(chip int) error {
 		}
 		d.stats.Erases++
 		d.recycled[chip] = append(d.recycled[chip], victim)
+		d.onFreeList[victim] = true
 	}
 	return nil
 }
@@ -564,9 +570,15 @@ func (d *Device) WriteAmplification() float64 {
 }
 
 // EffectiveWriteBandwidth is the sustained host write bandwidth after GC
-// steals its share: rated bandwidth divided by write amplification.
+// steals its share: rated bandwidth divided by write amplification. The
+// value is cached between writes (every dev.Write invalidates it), so the
+// per-chunk refresh in the GPU layer costs a flag test when nothing wrote.
 func (d *Device) EffectiveWriteBandwidth() units.Bandwidth {
-	return units.Bandwidth(float64(d.cfg.WriteBandwidth) / d.WriteAmplification())
+	if !d.effWriteOK {
+		d.effWrite = units.Bandwidth(float64(d.cfg.WriteBandwidth) / d.WriteAmplification())
+		d.effWriteOK = true
+	}
+	return d.effWrite
 }
 
 // EffectiveReadBandwidth is the rated read bandwidth (GC reads are folded
@@ -628,7 +640,8 @@ func (d *Device) CheckConsistency() error {
 	}
 	for ci, c := range d.mapping.chunks {
 		base := int64(ci) << chunkBits
-		for j, pp := range c {
+		for j, raw := range c {
+			pp := raw + d.mapping.def // entries are stored biased by -def
 			if pp == unmapped {
 				continue
 			}

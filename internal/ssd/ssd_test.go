@@ -195,6 +195,32 @@ func TestEffectiveWriteBandwidthDegradesWithWA(t *testing.T) {
 	}
 }
 
+// TestEffectiveWriteBandwidthCacheTracksWrites: the cached effective write
+// bandwidth must be indistinguishable from recomputing it — every Write
+// (including the GC it may trigger) invalidates the cache.
+func TestEffectiveWriteBandwidthCacheTracksWrites(t *testing.T) {
+	d := MustNew(smallConfig())
+	logical := int64(64 * units.MB / (4 * units.KB))
+	n := logical * 9 / 10
+	r, _ := d.Alloc(n)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		off := rng.Int63n(n - 8)
+		if _, err := d.Write(LogicalRange{Start: r.Start + off, Count: 8}); err != nil {
+			t.Fatal(err)
+		}
+		want := units.Bandwidth(float64(d.Config().WriteBandwidth) / d.WriteAmplification())
+		if got := d.EffectiveWriteBandwidth(); got != want {
+			t.Fatalf("write %d: cached effective bandwidth %v, fresh computation %v", i, got, want)
+		}
+		// Re-reading without an intervening write must hit the cache and
+		// return the identical value.
+		if got := d.EffectiveWriteBandwidth(); got != want {
+			t.Fatalf("write %d: cache re-read drifted to %v from %v", i, got, want)
+		}
+	}
+}
+
 func TestLifetimeYearsMatchesPaperFormula(t *testing.T) {
 	// §7.7: 30 DWPD × 1825 days × 3.2TB at 1.5 GB/s of writes ≈ 3.7 years.
 	cfg := ZNAND()

@@ -92,15 +92,19 @@ type Arbiter struct {
 	// MaxBatchBytes bounds one transfer set. At least one request is
 	// always released even if it alone exceeds the bound.
 	MaxBatchBytes units.Bytes
+	// scratch backs the returned set; each call invalidates the previous
+	// call's slice, so the dispatcher's pop/requeue cycle allocates nothing.
+	scratch []*Request
 }
 
-// NextTransferSet dequeues the next batch. Empty queues yield nil.
+// NextTransferSet dequeues the next batch. Empty queues yield nil. The
+// returned slice is reused by the next call.
 func (a *Arbiter) NextTransferSet(q *Queues) []*Request {
 	limit := a.MaxBatchBytes
 	if limit <= 0 {
 		limit = 256 * units.MB
 	}
-	var set []*Request
+	set := a.scratch[:0]
 	var used units.Bytes
 	take := func(queue *[]*Request) {
 		for len(*queue) > 0 {
@@ -123,5 +127,9 @@ func (a *Arbiter) NextTransferSet(q *Queues) []*Request {
 	if used < limit {
 		take(&q.evict)
 	}
+	if len(set) == 0 {
+		return nil // keep the empty-queues == nil contract
+	}
+	a.scratch = set
 	return set
 }
