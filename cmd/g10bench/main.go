@@ -55,6 +55,7 @@ var figures = []struct {
 	{"colocate", wrap(experiments.Colocate)},
 	{"fleet", wrap(experiments.Fleet)},
 	{"adapt", wrap(experiments.Adapt)},
+	{"scaling", wrap(experiments.Scaling)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -76,6 +77,7 @@ type benchReport struct {
 	Suite      string        `json:"suite"`
 	Short      bool          `json:"short"`
 	Workers    int           `json:"workers"`
+	Shards     int           `json:"shards,omitempty"`
 	Models     []string      `json:"models,omitempty"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 	TotalNs    int64         `json:"total_ns"`
@@ -88,7 +90,7 @@ type benchReport struct {
 
 // headlineFigures is the -bench suite: the figures whose wall time the
 // BENCH.md trajectory and the CI regression gate track.
-const headlineFigures = "11,multigpu,colocate,fleet,adapt"
+const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling"
 
 // calibrate times a fixed xorshift loop, a machine-speed yardstick for
 // scaling committed baselines across runner generations.
@@ -142,6 +144,9 @@ func runGate(cur benchReport, baselinePath, outPath string, tolerance float64) e
 	}
 	if base.Workers != cur.Workers {
 		return fmt.Errorf("baseline workers=%d but this run workers=%d; compare like with like", base.Workers, cur.Workers)
+	}
+	if base.Shards != cur.Shards {
+		return fmt.Errorf("baseline shards=%d but this run shards=%d; compare like with like", base.Shards, cur.Shards)
 	}
 	if fmt.Sprint(base.Models) != fmt.Sprint(cur.Models) {
 		return fmt.Errorf("baseline models=%v but this run models=%v; compare like with like", base.Models, cur.Models)
@@ -211,6 +216,7 @@ func main() {
 		short      = flag.Bool("short", false, "shrunken workloads for a fast pass")
 		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
 		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all cores, 1 = serial)")
+		shards     = flag.Int("shards", 0, "split every cluster co-simulation across this many shard workers (results are byte-identical at any setting; <= 1 runs the sequential driver)")
 		jsonPath   = flag.String("json", "", "write per-figure timings as JSON (BENCH_*.json perf-trajectory format) to this path")
 		gatePath   = flag.String("gate", "", "compare this run's timings against the baseline JSON at this path; exit nonzero on regression")
 		gateOut    = flag.String("gateout", "BENCH_delta.json", "write the gate's per-figure delta report to this path (with -gate)")
@@ -263,14 +269,14 @@ func main() {
 		}()
 	}
 
-	if err := run(*fig, *short, *models, *workers, *jsonPath, *bench, *gatePath, *gateOut, *gateTol); err != nil {
+	if err := run(*fig, *short, *models, *workers, *shards, *jsonPath, *bench, *gatePath, *gateOut, *gateTol); err != nil {
 		fmt.Fprintf(os.Stderr, "g10bench: %v\n", err)
 		failed = true
 	}
 }
 
-func run(fig string, short bool, models string, workers int, jsonPath string, bench bool, gatePath, gateOut string, gateTol float64) error {
-	opt := experiments.Options{Short: short, W: os.Stdout, Workers: workers}
+func run(fig string, short bool, models string, workers, shards int, jsonPath string, bench bool, gatePath, gateOut string, gateTol float64) error {
+	opt := experiments.Options{Short: short, W: os.Stdout, Workers: workers, Shards: shards}
 	if models != "" {
 		opt.Models = strings.Split(models, ",")
 	}
@@ -287,7 +293,7 @@ func run(fig string, short bool, models string, workers int, jsonPath string, be
 		}
 	}
 
-	report := benchReport{Suite: "g10bench-figures", Short: short, Workers: workers, Models: opt.Models}
+	report := benchReport{Suite: "g10bench-figures", Short: short, Workers: workers, Shards: shards, Models: opt.Models}
 	if bench || gatePath != "" {
 		report.CalibrationNs = calibrate()
 	}

@@ -257,6 +257,10 @@ type ClusterConfig struct {
 	// SSDs is the number of drives in the shared array (default 1); the
 	// array's bandwidth and capacity scale linearly with it.
 	SSDs int
+	// Shards splits the co-simulation across that many shard workers,
+	// advancing independent scheduler state concurrently. The report is
+	// byte-identical at any shard count; <= 1 runs sequentially.
+	Shards int
 }
 
 // JobSpan is one job's admission and completion times on the cluster
@@ -310,7 +314,7 @@ func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, erro
 			ArrivalTime: units.Time(j.ArrivalSeconds * float64(units.Second)),
 		}
 	}
-	cres, err := gpu.RunCluster(gpu.ClusterParams{Tenants: tenants, Shared: shared})
+	cres, err := gpu.RunCluster(gpu.ClusterParams{Tenants: tenants, Shared: shared, Shards: ccfg.Shards})
 	if err != nil {
 		return ClusterReport{}, err
 	}

@@ -70,6 +70,11 @@ type Options struct {
 	// serial). Results are identical at any setting: runs are pure and the
 	// session cache is single-flight.
 	Workers int
+	// Shards splits every cluster co-simulation across that many shard
+	// workers (<= 1 runs the sequential driver). The sharded driver is
+	// byte-identical to the sequential one, so figures are unchanged at any
+	// setting.
+	Shards int
 }
 
 func (o Options) writer() io.Writer {
@@ -295,6 +300,9 @@ func (s *Session) RunCluster(key string, build func() (gpu.ClusterParams, error)
 		p, err := build()
 		if err != nil {
 			return gpu.ClusterResult{}, err
+		}
+		if p.Shards == 0 {
+			p.Shards = s.opt.Shards
 		}
 		res, err := gpu.RunCluster(p)
 		if err != nil {

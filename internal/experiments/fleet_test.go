@@ -106,21 +106,20 @@ func TestEventDriverMatchesPollingEveryModelPolicy(t *testing.T) {
 					}
 					return p, nil
 				}
-				runOnce := func() gpu.ClusterResult {
+				runOnce := func(drv gpu.Driver) gpu.ClusterResult {
 					params, err := build()
 					if err != nil {
 						t.Fatal(err)
 					}
+					params.Driver = drv
 					res, err := gpu.RunCluster(params)
 					if err != nil {
 						t.Fatal(err)
 					}
 					return res
 				}
-				event := runOnce()
-				gpu.ForcePollingDriverForTest(true)
-				defer gpu.ForcePollingDriverForTest(false)
-				polling := runOnce()
+				event := runOnce(gpu.DriverAuto)
+				polling := runOnce(gpu.DriverPolling)
 				if !reflect.DeepEqual(event, polling) {
 					t.Errorf("event-driven diverged from polling reference:\nevent:   %+v\npolling: %+v", event, polling)
 				}

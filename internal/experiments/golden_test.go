@@ -44,6 +44,7 @@ var goldenFigures = []struct {
 	{"colocate", discard(Colocate)},
 	{"fleet", discard(Fleet)},
 	{"adapt", discard(Adapt)},
+	{"scaling", discard(Scaling)},
 }
 
 func discard[T any](f func(*Session) ([]T, error)) func(*Session) error {

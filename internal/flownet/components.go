@@ -1,0 +1,243 @@
+// Component-factorized rate re-derivation.
+//
+// The max-min fair allocation computed by progressive filling factors
+// exactly across connected components of the bipartite graph whose nodes
+// are active flows and busy resources and whose edges are route membership:
+// a filling round's bottleneck choice in one component neither reads nor
+// writes any other component's state, so the global algorithm's round
+// sequence restricted to a component is the per-component algorithm's round
+// sequence — the same float operations in the same order, hence bit-equal
+// rates (DESIGN.md §11 gives the argument in full).
+//
+// That factorization buys two things. Components whose flow multiset and
+// capacities are unchanged since the last recompute (no dirty resource)
+// keep their allocation verbatim and skip filling entirely — in a fleet,
+// one tenant's chunk completion re-derives that tenant's coupling group,
+// not every flow in the cluster. And dirty components are mutually
+// independent, so a sharded cluster driver may fill them concurrently
+// (SetWorkers) with no synchronization beyond the final join.
+package flownet
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// component is one connected group of active flows and the busy resources
+// they traverse. flows is in n.active order and res in registration order,
+// so a per-component fill replays the global fill's iteration orders.
+type component struct {
+	flows []*Flow
+	res   []*Resource
+	dirty bool
+}
+
+// parallelFillMinFlows gates the concurrent fill: below this many flows in
+// dirty components the goroutine handoff costs more than the filling. A var
+// so tests can force the parallel path on tiny networks.
+var parallelFillMinFlows = 64
+
+// SetWorkers caps the goroutines a rate re-derivation may use to fill
+// independent dirty components concurrently. Rates are bit-identical at any
+// worker count (components share no state); 0 or 1 keeps the recompute
+// strictly sequential. The sharded cluster driver raises this to its shard
+// count for the run.
+func (n *Network) SetWorkers(k int) { n.workers = k }
+
+// markDirty records that r was touched since the last recompute.
+func (n *Network) markDirty(r *Resource) {
+	if !r.dirty {
+		r.dirty = true
+		n.dirtyRes = append(n.dirtyRes, r)
+	}
+}
+
+// markRouteDirty marks every resource on a route (flow started, completed,
+// or succeeded there).
+func (n *Network) markRouteDirty(route []*Resource) {
+	for _, r := range route {
+		n.markDirty(r)
+	}
+}
+
+// ufFind resolves a busy-resource ordinal to its set root, halving the path
+// as it walks.
+func ufFind(parent []int32, i int32) int32 {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// recomputeComponents is the component-decomposed progressive fill: collect
+// busy resources, union routes into components, fill only the dirty ones —
+// concurrently when a worker budget is set and the work warrants it.
+func (n *Network) recomputeComponents() {
+	n.busyStamp++
+	busy := n.busyScratch[:0]
+	for _, f := range n.active {
+		f.prevRate = f.rate
+		for _, r := range f.route {
+			if r.busyStamp != n.busyStamp {
+				r.busyStamp = n.busyStamp
+				r.avail = r.capacity
+				r.count = 0
+				r.busyOrd = int32(len(busy))
+				busy = append(busy, r)
+			}
+			r.count++
+		}
+	}
+	parent := n.ufParent[:0]
+	for i := range busy {
+		parent = append(parent, int32(i))
+	}
+	n.ufParent = parent
+	for _, f := range n.active {
+		a := ufFind(parent, f.route[0].busyOrd)
+		for _, r := range f.route[1:] {
+			b := ufFind(parent, r.busyOrd)
+			if a == b {
+				continue
+			}
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+				a = b
+			}
+		}
+	}
+	// Order busy resources by registration index (insertion sort, as in the
+	// global fill) so each component's resource list scans in the order the
+	// global bottleneck search would visit it.
+	for i := 1; i < len(busy); i++ {
+		r := busy[i]
+		j := i - 1
+		for j >= 0 && busy[j].regIdx > r.regIdx {
+			busy[j+1] = busy[j]
+			j--
+		}
+		busy[j+1] = r
+	}
+	n.busyScratch = busy[:0]
+
+	rootComp := n.rootComp[:0]
+	for range parent {
+		rootComp = append(rootComp, -1)
+	}
+	n.rootComp = rootComp
+	comps := n.comps
+	ncomp := 0
+	for _, r := range busy {
+		root := ufFind(parent, r.busyOrd)
+		ci := rootComp[root]
+		if ci < 0 {
+			ci = int32(ncomp)
+			rootComp[root] = ci
+			if ncomp < len(comps) {
+				comps[ncomp].flows = comps[ncomp].flows[:0]
+				comps[ncomp].res = comps[ncomp].res[:0]
+				comps[ncomp].dirty = false
+			} else {
+				comps = append(comps, component{})
+			}
+			ncomp++
+		}
+		c := &comps[ci]
+		c.res = append(c.res, r)
+		if r.dirty {
+			c.dirty = true
+		}
+	}
+	n.comps = comps
+	for _, f := range n.active {
+		ci := rootComp[ufFind(parent, f.route[0].busyOrd)]
+		comps[ci].flows = append(comps[ci].flows, f)
+	}
+
+	dirty := n.dirtyComps[:0]
+	dirtyFlows := 0
+	for i := 0; i < ncomp; i++ {
+		if comps[i].dirty {
+			dirty = append(dirty, int32(i))
+			dirtyFlows += len(comps[i].flows)
+		}
+	}
+	n.dirtyComps = dirty[:0]
+
+	if n.workers > 1 && len(dirty) > 1 && dirtyFlows >= parallelFillMinFlows {
+		var cursor atomic.Int32
+		var wg sync.WaitGroup
+		workers := n.workers
+		if workers > len(dirty) {
+			workers = len(dirty)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(dirty) {
+						return
+					}
+					fillComponent(&comps[dirty[i]])
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	for _, ci := range dirty {
+		fillComponent(&comps[ci])
+	}
+}
+
+// fillComponent runs progressive filling over one component: the same loop
+// as recomputeGlobal restricted to the component's flows and resources. All
+// writes are to component-local state, so dirty components fill in any
+// order — or concurrently — with bit-equal results.
+func fillComponent(c *component) {
+	for _, f := range c.flows {
+		f.frozen = false
+		f.rate = 0
+	}
+	unfrozen := len(c.flows)
+	for unfrozen > 0 {
+		var bottleneck *Resource
+		share := math.Inf(1)
+		for _, r := range c.res {
+			if r.count == 0 {
+				continue
+			}
+			if s := r.avail / float64(r.count); s < share {
+				share = s
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		for _, f := range c.flows {
+			if f.frozen || !flowUses(f, bottleneck) {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			unfrozen--
+			for _, r := range f.route {
+				r.avail -= share
+				if r.avail < 0 {
+					r.avail = 0
+				}
+				r.count--
+			}
+		}
+	}
+}

@@ -37,6 +37,14 @@ type Resource struct {
 	regIdx int
 	// busyStamp marks membership in the current recompute's busy list.
 	busyStamp uint64
+	// busyOrd is this resource's slot in the current recompute's busy list —
+	// the union-find key for component decomposition.
+	busyOrd int32
+	// dirty marks the resource as touched (a flow routed through it started,
+	// completed, or succeeded; or its capacity changed) since the last
+	// recompute. A connected component with no dirty resource kept its exact
+	// allocation and is skipped.
+	dirty bool
 }
 
 // Capacity reports the resource's current bandwidth.
@@ -122,6 +130,21 @@ type Network struct {
 	// tenant; idle tenants' links must not tax every event).
 	busyScratch []*Resource
 	busyStamp   uint64
+	// dirtyRes lists the resources marked dirty since the last recompute
+	// (deduplicated via Resource.dirty); cleared when rates are re-derived.
+	dirtyRes []*Resource
+	// workers caps the goroutines a recompute may use to fill independent
+	// dirty components concurrently (see components.go). 0 or 1 keeps the
+	// recompute strictly sequential.
+	workers int
+	// forceGlobalFill pins recompute to the direct global fill at any size —
+	// the reference side of the component-decomposition differential tests.
+	forceGlobalFill bool
+	// Component-decomposition scratch, reused across recomputes.
+	ufParent   []int32
+	rootComp   []int32
+	comps      []component
+	dirtyComps []int32
 	// doneBuf accumulates one AdvanceTo call's completions; reused.
 	doneBuf []*Flow
 
@@ -294,6 +317,7 @@ func (n *Network) SetCapacity(r *Resource, cap units.Bandwidth) {
 		return
 	}
 	r.capacity = float64(cap)
+	n.markDirty(r)
 	n.dirtyRates()
 }
 
@@ -340,6 +364,7 @@ func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data an
 func (n *Network) activate(f *Flow) {
 	f.active = true
 	n.active = append(n.active, f)
+	n.markRouteDirty(f.route)
 	n.dirtyRates()
 }
 
@@ -562,6 +587,7 @@ func (n *Network) Succeed(f *Flow, size units.Bytes) *Flow {
 	// starting the successor normally.
 	f.compGen++
 	f.inComp = false
+	n.markRouteDirty(f.route)
 	n.dirtyRates()
 	return f
 }
@@ -577,6 +603,7 @@ func (n *Network) step(e units.Time) {
 		f := heap.Pop(&n.dormant).(*Flow)
 		f.active = true
 		n.active = append(n.active, f)
+		n.markRouteDirty(f.route)
 		activated = true
 	}
 	if activated {
@@ -620,6 +647,7 @@ func (n *Network) reap() {
 			f.done = true
 			f.active = false
 			f.CompletedAt = n.now
+			n.markRouteDirty(f.route)
 			n.doneBuf = append(n.doneBuf, f)
 		} else {
 			kept = append(kept, f)
@@ -660,13 +688,36 @@ func (n *Network) reap() {
 
 // recompute derives max-min fair rates for all active flows by progressive
 // filling: repeatedly find the most constrained resource, give its flows
-// their equal share, freeze them, and remove that capacity. Only resources
-// traversed by an active flow participate (sorted by registration order so
-// bottleneck ties break exactly as a full scan would), and the completion
-// index is re-keyed only for flows whose rate actually changed.
+// their equal share, freeze them, and remove that capacity. Small active
+// sets run the direct global fill; larger ones are decomposed into connected
+// components of the flow/resource graph (components.go), where components
+// untouched since the last recompute keep their allocation verbatim and
+// dirty components fill independently — bit-identical to the global fill,
+// because the max-min allocation factors across components. Either way the
+// completion index is re-keyed only for flows whose rate actually changed.
 func (n *Network) recompute() {
 	n.recomputes++
 	n.nextEvOK = false
+	if len(n.active) > smallFillLimit && !n.forceGlobalFill {
+		n.recomputeComponents()
+	} else {
+		n.recomputeGlobal()
+	}
+	for _, r := range n.dirtyRes {
+		r.dirty = false
+	}
+	n.dirtyRes = n.dirtyRes[:0]
+	n.rekeyCompletions()
+}
+
+// smallFillLimit is the active-flow count at or below which recompute runs
+// the direct global fill: component bookkeeping only pays off once several
+// independent groups of flows exist.
+const smallFillLimit = 8
+
+// recomputeGlobal is the direct progressive-filling pass over every active
+// flow — the reference the component decomposition must match bit for bit.
+func (n *Network) recomputeGlobal() {
 	n.busyStamp++
 	busy := n.busyScratch[:0]
 	unfrozen := 0
@@ -737,7 +788,6 @@ func (n *Network) recompute() {
 			}
 		}
 	}
-	n.rekeyCompletions()
 }
 
 // rekeyCompletions refreshes the completion index after a recompute. Tiny

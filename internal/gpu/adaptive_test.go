@@ -184,18 +184,17 @@ func TestEventDriverMatchesPollingAdaptive(t *testing.T) {
 		}
 	}
 	swaps := 0
-	runOnce := func() ClusterResult {
+	runOnce := func(drv Driver) ClusterResult {
 		p := build()
+		p.Driver = drv
 		res := mustRunCluster(t, p)
 		for _, tn := range p.Tenants {
 			swaps += tn.Policy.(*replanPolicy).swapped
 		}
 		return res
 	}
-	ev := runOnce()
-	ForcePollingDriverForTest(true)
-	defer ForcePollingDriverForTest(false)
-	poll := runOnce()
+	ev := runOnce(DriverAuto)
+	poll := runOnce(DriverPolling)
 	if swaps == 0 {
 		t.Error("no tenant ever swapped its program; the differential is vacuous")
 	}

@@ -11,9 +11,10 @@
 // the tenants whose events fire are stepped, so per-event cost is
 // O(affected tenants · log n) instead of O(all tenants). A reference
 // polling scheduler (the shared-clock loop this engine grew out of) is
-// retained behind a test hook; differential tests pin the two bit-identical
-// across every model × policy. A one-tenant cluster executes exactly the
-// single-machine Run loop.
+// retained behind ClusterParams.Driver; differential tests pin the two
+// bit-identical across every model × policy. A one-tenant cluster executes
+// exactly the single-machine Run loop. ClusterParams.Shards > 1 selects the
+// sharded driver (shard.go), byte-identical to the sequential one.
 package gpu
 
 import (
@@ -21,7 +22,6 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
-	"sync/atomic"
 
 	"g10sim/internal/flownet"
 	"g10sim/internal/profile"
@@ -62,7 +62,34 @@ type ClusterParams struct {
 	// memory capacity, and host DRAM bandwidth (its per-GPU fields are
 	// ignored).
 	Shared Config
+	// Shards splits the cluster across that many shard workers (see
+	// shard.go); results are byte-identical at any value. <= 1 runs the
+	// sequential scheduler.
+	Shards int
+	// Driver selects the scheduler implementation; the zero value is the
+	// production event-driven scheduler (sharded when Shards > 1).
+	Driver Driver
+	// StepCount, when non-nil, accumulates the run's step-machine
+	// invocations — the scheduler-cost metric BenchmarkClusterScaling pins
+	// near-linear in tenant count. Per-run state: concurrent RunCluster
+	// calls with distinct counters never contend.
+	StepCount *int64
 }
+
+// Driver selects a cluster scheduler implementation.
+type Driver int
+
+const (
+	// DriverAuto is the production path: the event-driven scheduler,
+	// sharded when ClusterParams.Shards > 1.
+	DriverAuto Driver = iota
+	// DriverEvents forces the sequential event-driven scheduler even when a
+	// shard count is set (the reference side of sharded differentials).
+	DriverEvents
+	// DriverPolling selects the retained polling reference scheduler
+	// (differential tests; executable documentation of the semantics).
+	DriverPolling
+)
 
 // TenantSpan is one job's admission and completion times on the shared
 // clock.
@@ -89,26 +116,6 @@ type ClusterResult struct {
 	SSDStats ssd.Stats
 	WriteAmp float64
 }
-
-// stepCounter tallies step-machine invocations across every driver in the
-// process — the scheduler-cost metric BenchmarkClusterScaling pins
-// near-linear in tenant count.
-var stepCounter atomic.Int64
-
-// ResetStepCount zeroes the global step-machine counter (benchmarks/tests).
-func ResetStepCount() { stepCounter.Store(0) }
-
-// StepCount reports step-machine invocations since the last reset.
-func StepCount() int64 { return stepCounter.Load() }
-
-// forcePolling switches drive to the retained reference polling scheduler;
-// differential tests use it to pin event-driven == polling bit-identity.
-var forcePolling atomic.Bool
-
-// ForcePollingDriverForTest selects the reference polling scheduler for
-// subsequent cluster runs. Tests only; the event-driven scheduler is the
-// production path.
-func ForcePollingDriverForTest(v bool) { forcePolling.Store(v) }
 
 // RunCluster co-simulates every tenant against one flash array, host
 // memory pool, and clock. Tenant failures (FlashNeuron-style footnote-1
@@ -153,7 +160,8 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 		r.arrival = t.ArrivalTime
 		runners[i] = r
 	}
-	if err := drive(net, runners); err != nil {
+	opt := driveOptions{driver: p.Driver, shards: p.Shards, steps: p.StepCount}
+	if err := drive(net, runners, opt); err != nil {
 		return ClusterResult{}, err
 	}
 	out := ClusterResult{
@@ -176,12 +184,31 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 	return out, nil
 }
 
+// driveOptions is the per-run scheduler configuration — replacing what used
+// to be process-global toggles, so concurrent runs (and concurrent shards
+// within one run) never share mutable state.
+type driveOptions struct {
+	driver Driver
+	shards int
+	steps  *int64
+}
+
 // drive schedules the tenants on one shared clock.
-func drive(net *flownet.Network, tenants []*runner) error {
-	if forcePolling.Load() {
-		return drivePolling(net, tenants)
+func drive(net *flownet.Network, tenants []*runner, opt driveOptions) error {
+	var steps int64
+	var err error
+	switch {
+	case opt.driver == DriverPolling:
+		err = drivePolling(net, tenants, &steps)
+	case opt.driver == DriverAuto && opt.shards > 1:
+		err = driveSharded(net, tenants, opt.shards, &steps)
+	default:
+		err = driveEvents(net, tenants, &steps)
 	}
-	return driveEvents(net, tenants)
+	if opt.steps != nil {
+		*opt.steps += steps
+	}
+	return err
 }
 
 // execHeap orders executing tenants by kernel-end time (ties by index, so
@@ -269,7 +296,7 @@ func (b bitset) forEach(fn func(i int)) {
 // metadata queues per network event is likewise confined to machines with
 // queued requests (for the others the arbiter pop/requeue cycle is
 // observationally empty).
-func driveEvents(net *flownet.Network, tenants []*runner) error {
+func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 	n := len(tenants)
 	ready := newBitset(n)
 	queued := newBitset(n)
@@ -326,7 +353,7 @@ func driveEvents(net *flownet.Network, tenants []*runner) error {
 			if r.phase == phaseDone || r.phase == phasePending {
 				continue
 			}
-			stepCounter.Add(1)
+			*steps++
 			r.step()
 			if r.err != nil {
 				return r.err
@@ -415,7 +442,7 @@ func driveEvents(net *flownet.Network, tenants []*runner) error {
 // Its per-round cost is O(all tenants); it exists for differential tests
 // (ForcePollingDriverForTest) and as executable documentation of the
 // semantics.
-func drivePolling(net *flownet.Network, tenants []*runner) error {
+func drivePolling(net *flownet.Network, tenants []*runner, steps *int64) error {
 	for _, r := range tenants {
 		if r.arrival > 0 {
 			r.phase = phasePending
@@ -437,7 +464,7 @@ func drivePolling(net *flownet.Network, tenants []*runner) error {
 				next = units.MinTime(next, r.arrival)
 				continue
 			}
-			stepCounter.Add(1)
+			*steps++
 			r.step()
 			if r.err != nil {
 				return r.err

@@ -49,7 +49,7 @@ func Run(p RunParams) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	err = drive(m.net, []*runner{r})
+	err = drive(m.net, []*runner{r}, driveOptions{})
 	return r.result(), err
 }
 

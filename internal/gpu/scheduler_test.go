@@ -15,9 +15,9 @@ import (
 func runBothDrivers(t testing.TB, build func() ClusterParams) (event, polling ClusterResult) {
 	t.Helper()
 	event = mustRunCluster(t, build())
-	ForcePollingDriverForTest(true)
-	defer ForcePollingDriverForTest(false)
-	polling = mustRunCluster(t, build())
+	p := build()
+	p.Driver = DriverPolling
+	polling = mustRunCluster(t, p)
 	return event, polling
 }
 
@@ -146,9 +146,11 @@ func scalingParams(t testing.TB, n int) ClusterParams {
 // invocations it cost.
 func stepsFor(t testing.TB, n int) int64 {
 	t.Helper()
-	ResetStepCount()
-	mustRunCluster(t, scalingParams(t, n))
-	return StepCount()
+	var steps int64
+	p := scalingParams(t, n)
+	p.StepCount = &steps
+	mustRunCluster(t, p)
+	return steps
 }
 
 // TestClusterScalingNearLinear pins the tentpole property: total
@@ -167,16 +169,28 @@ func TestClusterScalingNearLinear(t *testing.T) {
 	t.Logf("steps: 16 tenants = %d, 64 tenants = %d (linear would be %d)", s16, s64, linear)
 }
 
-// BenchmarkClusterScaling measures the cluster engine at fleet sizes; the
-// steps/op metric is the scheduler-cost figure the near-linear claim is
-// about (ns/op includes the simulation work itself, which also grows with
-// tenant count).
+// BenchmarkClusterScaling measures the cluster engine at fleet sizes, with
+// a shards dimension at the large ones; the steps/op metric is the
+// scheduler-cost figure the near-linear claim is about (ns/op includes the
+// simulation work itself, which also grows with tenant count). Sharded and
+// sequential runs produce byte-identical results, so steps/op matches
+// across the shards dimension by construction.
 func BenchmarkClusterScaling(b *testing.B) {
-	for _, n := range []int{1, 4, 16, 64} {
-		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
-			p := scalingParams(b, n)
+	for _, bc := range []struct{ n, shards int }{
+		{1, 0}, {4, 0}, {16, 0}, {64, 0},
+		{256, 0}, {256, 2}, {256, 4}, {256, 8},
+		{1024, 0}, {1024, 8},
+	} {
+		name := fmt.Sprintf("%d", bc.n)
+		if bc.shards > 0 {
+			name = fmt.Sprintf("%d/shards=%d", bc.n, bc.shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			p := scalingParams(b, bc.n)
+			p.Shards = bc.shards
+			var steps int64
+			p.StepCount = &steps
 			b.ResetTimer()
-			ResetStepCount()
 			for i := 0; i < b.N; i++ {
 				// Fresh policies per run: they carry per-run state.
 				for j := range p.Tenants {
@@ -184,8 +198,8 @@ func BenchmarkClusterScaling(b *testing.B) {
 				}
 				mustRunCluster(b, p)
 			}
-			b.ReportMetric(float64(StepCount())/float64(b.N), "steps/op")
-			b.ReportMetric(float64(StepCount())/float64(b.N)/float64(n), "steps/tenant")
+			b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+			b.ReportMetric(float64(steps)/float64(b.N)/float64(bc.n), "steps/tenant")
 		})
 	}
 }

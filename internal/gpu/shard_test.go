@@ -1,0 +1,176 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"g10sim/internal/models"
+	"g10sim/internal/units"
+)
+
+// shardCounts are the shard dimensions every sharded differential runs:
+// 1 (degenerates to the sequential driver), even splits, an odd split, and
+// more shards than some clusters have tenants.
+var shardCounts = []int{1, 2, 3, 4, 8}
+
+// runSharded runs build()'s cluster at every shard count and fails unless
+// each result — including the step count — is bit-identical to want.
+func runSharded(t *testing.T, build func() ClusterParams, want ClusterResult, wantSteps int64) {
+	t.Helper()
+	for _, shards := range shardCounts {
+		p := build()
+		p.Shards = shards
+		var steps int64
+		p.StepCount = &steps
+		got := mustRunCluster(t, p)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d diverged from sequential driver:\nsharded:    %+v\nsequential: %+v", shards, got, want)
+		}
+		if steps != wantSteps {
+			t.Errorf("shards=%d: %d scheduler steps, sequential took %d", shards, steps, wantSteps)
+		}
+	}
+}
+
+// TestShardedMatchesSequential: the sharded driver must reproduce the
+// sequential event-driven driver byte for byte at every shard count —
+// heterogeneous tenants, tight and roomy host pools, strict policies,
+// adaptive replanning, chunk trains, and mid-run arrivals.
+func TestShardedMatchesSequential(t *testing.T) {
+	a1 := analyze(t, models.TinyCNN(128), 200)
+	a2 := analyze(t, models.TinyMLP(64), 50)
+	for _, tc := range []struct {
+		name     string
+		hostCap  units.Bytes
+		chunk    units.Bytes
+		strict   bool
+		adaptive bool
+		arrivals []units.Time
+	}{
+		{name: "tight-host", hostCap: 4 * units.MB},
+		{name: "mid-host", hostCap: 24 * units.MB},
+		{name: "roomy-host", hostCap: 256 * units.MB},
+		{name: "strict", hostCap: 256 * units.MB, strict: true},
+		{name: "chunk-trains", hostCap: 24 * units.MB, chunk: 2 * units.MB},
+		{name: "staggered-arrivals", hostCap: 24 * units.MB,
+			arrivals: []units.Time{0, 5 * units.Millisecond, 20 * units.Millisecond}},
+		{name: "same-time-arrivals", hostCap: 8 * units.MB,
+			arrivals: []units.Time{0, 10 * units.Millisecond, 10 * units.Millisecond}},
+		{name: "adaptive", hostCap: 8 * units.MB, adaptive: true,
+			arrivals: []units.Time{0, 0, 5 * units.Millisecond}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() ClusterParams {
+				cfg1 := testCfg(a1.PeakAlive()/2, tc.hostCap)
+				cfg2 := testCfg(a2.PeakAlive()/2, tc.hostCap)
+				if tc.chunk > 0 {
+					cfg1.MigrationChunk = tc.chunk
+					cfg2.MigrationChunk = tc.chunk
+				}
+				if tc.adaptive {
+					cfg1.Iterations = 3
+					cfg2.Iterations = 3
+				}
+				pol := func(name string) Policy {
+					if tc.adaptive {
+						return &replanPolicy{testPolicy: testPolicy{name: name}, threshold: 1.05}
+					}
+					return &testPolicy{name: name, strict: tc.strict}
+				}
+				p := ClusterParams{
+					Tenants: []ClusterTenant{
+						{Analysis: a1, Policy: pol("t1"), Config: cfg1},
+						{Analysis: a2, Policy: pol("t2"), Config: cfg2},
+						{Analysis: a1, Policy: pol("t3"), Config: cfg1},
+					},
+					Shared: cfg1,
+				}
+				for i := range tc.arrivals {
+					p.Tenants[i].ArrivalTime = tc.arrivals[i]
+				}
+				return p
+			}
+			seq := build()
+			var seqSteps int64
+			seq.StepCount = &seqSteps
+			want := mustRunCluster(t, seq)
+			runSharded(t, build, want, seqSteps)
+		})
+	}
+}
+
+// TestShardedMatchesSequentialFleetScale: a larger cluster where shards do
+// real partitioning work (16 tenants with perturbed traces, 8 of them
+// arriving mid-run), compared at every shard count.
+func TestShardedMatchesSequentialFleetScale(t *testing.T) {
+	const n = 16
+	build := func() ClusterParams {
+		p := scalingParams(t, n)
+		for i := range p.Tenants {
+			if i%2 == 1 {
+				p.Tenants[i].ArrivalTime = units.Time(i) * 3 * units.Millisecond
+			}
+		}
+		return p
+	}
+	seq := build()
+	var seqSteps int64
+	seq.StepCount = &seqSteps
+	want := mustRunCluster(t, seq)
+	runSharded(t, build, want, seqSteps)
+}
+
+// TestShardedForcedSequentialDriver: DriverEvents pins the sequential
+// scheduler even when a shard count is set — the reference side the
+// differentials rely on.
+func TestShardedForcedSequentialDriver(t *testing.T) {
+	a := analyze(t, models.TinyCNN(128), 200)
+	cfg := testCfg(a.PeakAlive()/2, 24*units.MB)
+	build := func(drv Driver, shards int) ClusterResult {
+		return mustRunCluster(t, ClusterParams{
+			Tenants: []ClusterTenant{
+				{Analysis: a, Policy: &testPolicy{name: "a"}, Config: cfg},
+				{Analysis: a, Policy: &testPolicy{name: "b"}, Config: cfg},
+			},
+			Shared: cfg,
+			Driver: drv,
+			Shards: shards,
+		})
+	}
+	seq := build(DriverEvents, 0)
+	forced := build(DriverEvents, 4)
+	if !reflect.DeepEqual(seq, forced) {
+		t.Error("DriverEvents with Shards set diverged from the sequential run")
+	}
+}
+
+// TestPlanShards pins the partition: contiguous, balanced, covering every
+// index exactly once, and never more shards than tenants.
+func TestPlanShards(t *testing.T) {
+	for _, tc := range []struct{ n, k, want int }{
+		{1, 8, 1}, {3, 8, 3}, {8, 8, 8}, {10, 3, 3}, {256, 8, 8}, {7, 2, 2},
+	} {
+		spans := planShards(tc.n, tc.k)
+		if len(spans) != tc.want {
+			t.Errorf("planShards(%d,%d) = %d spans, want %d", tc.n, tc.k, len(spans), tc.want)
+		}
+		next := 0
+		for _, sp := range spans {
+			if sp.lo != next || sp.hi <= sp.lo {
+				t.Fatalf("planShards(%d,%d): bad span %+v at cursor %d", tc.n, tc.k, sp, next)
+			}
+			next = sp.hi
+		}
+		if next != tc.n {
+			t.Errorf("planShards(%d,%d) covers [0,%d), want [0,%d)", tc.n, tc.k, next, tc.n)
+		}
+		for _, sp := range spans {
+			if size := sp.hi - sp.lo; size > tc.n/tc.want+1 {
+				t.Errorf("planShards(%d,%d): span %+v unbalanced", tc.n, tc.k, sp)
+			}
+		}
+	}
+	if got := len(planShards(5, 0)); got != 1 {
+		t.Errorf("planShards(5,0) = %d spans, want 1", got)
+	}
+}

@@ -21,6 +21,10 @@ type MemPool struct {
 	capacity units.Bytes
 	used     units.Bytes
 	waiters  []poolWaiter
+	// scratch is the retired waiter array of the previous notify round; the
+	// two backing arrays ping-pong so steady-state notification allocates
+	// nothing. nil while a notify round is mid-wake (see notify).
+	scratch []poolWaiter
 }
 
 // poolWaiter is one pending capacity subscription.
@@ -71,6 +75,13 @@ func (p *MemPool) AwaitFree(need units.Bytes, wake func()) {
 // capacity not yet promised to an earlier grant this round. Deducting each
 // grant before looking at the next waiter keeps one large Release from
 // waking the whole queue at once (each wakeup is one grant).
+//
+// The FIFO order is a determinism contract, not just fairness: grant order
+// is exactly subscription order, so any scheduler that subscribes its
+// tenants in a fixed order (the cluster drivers use ascending tenant
+// index) observes an identical wake sequence regardless of how the
+// simulation work is partitioned — the sharded driver's byte-identity to
+// the sequential one depends on it.
 func (p *MemPool) notify() {
 	grantable := p.Free()
 	woken := 0
@@ -81,11 +92,18 @@ func (p *MemPool) notify() {
 	if woken == 0 {
 		return
 	}
-	ready := p.waiters[:woken]
-	p.waiters = append([]poolWaiter(nil), p.waiters[woken:]...)
-	for _, w := range ready {
+	// Compact the survivors into the recycled scratch array, then run the
+	// grants off the retired one. The scratch is taken (nil) while the
+	// wakeups run: a callback may Release reentrantly, and the nested
+	// notify must not reuse the array this round is still walking.
+	ready := p.waiters
+	scratch := p.scratch
+	p.scratch = nil
+	p.waiters = append(scratch[:0], ready[woken:]...)
+	for _, w := range ready[:woken] {
 		w.wake()
 	}
+	p.scratch = ready[:0]
 }
 
 // Waiters reports the pending subscription count.

@@ -115,6 +115,56 @@ func TestMemPoolWakeMayResubscribe(t *testing.T) {
 	}
 }
 
+// TestMemPoolWakeMayRelease: a wake callback releasing capacity triggers a
+// nested notify mid-round; the outer round's remaining grants must still
+// run, exactly once each, in FIFO order.
+func TestMemPoolWakeMayRelease(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	if !p.Reserve(100 * units.MB) {
+		t.Fatal("reserve failed")
+	}
+	var woken []string
+	// a's grant hands back 10MB immediately (a tenant that wakes, makes
+	// progress, and frees staging space before the round finishes).
+	p.AwaitFree(10*units.MB, func() {
+		woken = append(woken, "a")
+		p.Release(10 * units.MB)
+	})
+	p.AwaitFree(10*units.MB, func() { woken = append(woken, "b") })
+	p.AwaitFree(10*units.MB, func() { woken = append(woken, "c") })
+	p.Release(30 * units.MB) // room for all three; a's nested Release re-notifies
+	if want := "[a b c]"; len(woken) != 3 || woken[0] != "a" || woken[1] != "b" || woken[2] != "c" {
+		t.Fatalf("woken = %v, want %s", woken, want)
+	}
+	if p.Waiters() != 0 {
+		t.Errorf("waiters = %d after draining, want 0", p.Waiters())
+	}
+}
+
+// TestMemPoolNotifyDoesNotAllocate: steady-state subscribe/release churn
+// must not allocate — the two waiter arrays ping-pong through the scratch
+// buffer. (The cluster schedulers run this path once per denied tenant per
+// release.)
+func TestMemPoolNotifyDoesNotAllocate(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	wake := func() {}
+	// Warm the two backing arrays past the test's queue depth.
+	for i := 0; i < 8; i++ {
+		p.AwaitFree(units.MB, wake)
+	}
+	p.Reserve(50 * units.MB)
+	p.Release(50 * units.MB)
+	avg := testing.AllocsPerRun(100, func() {
+		p.Reserve(50 * units.MB)
+		p.AwaitFree(units.MB, wake)
+		p.AwaitFree(2*units.MB, wake)
+		p.Release(50 * units.MB)
+	})
+	if avg != 0 {
+		t.Errorf("notify churn allocates %.1f times per round, want 0", avg)
+	}
+}
+
 func TestMemPoolReleasePanicsOnUnderflow(t *testing.T) {
 	defer func() {
 		if recover() == nil {
