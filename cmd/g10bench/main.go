@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"g10sim/internal/experiments"
+	"g10sim/internal/gpu"
 )
 
 var figures = []struct {
@@ -81,11 +82,77 @@ type benchReport struct {
 	Models     []string      `json:"models,omitempty"`
 	Benchmarks []benchRecord `json:"benchmarks"`
 	TotalNs    int64         `json:"total_ns"`
+	// Engine reports the engine-internal work counters summed over every
+	// cluster simulation the suite ran (recompute/succession/progress/reap
+	// and epoch-TLB tallies) — the O(events) evidence alongside the wall
+	// times. Omitted when the selected figures ran no cluster.
+	Engine *engineRecord `json:"engine_stats,omitempty"`
 	// CalibrationNs is the wall time of a fixed CPU-bound loop measured in
 	// the same process (-bench mode): the regression gate scales a committed
 	// baseline by the calibration ratio, so a slower or faster CI machine
 	// does not read as a code regression or mask one.
 	CalibrationNs int64 `json:"calibration_ns,omitempty"`
+}
+
+// trajectoryFile is BENCH_trajectory.json: the machine-readable per-PR
+// bench history. Each entry is one labeled benchReport; `-trajectory`
+// appends the current run (replacing an existing entry with the same
+// label, so re-running a PR's bench refreshes rather than duplicates).
+// BENCH.md documents the format and the provenance of historical entries.
+type trajectoryFile struct {
+	Format  int               `json:"format"`
+	Entries []trajectoryEntry `json:"entries"`
+}
+
+type trajectoryEntry struct {
+	Label  string      `json:"label"`
+	Note   string      `json:"note,omitempty"`
+	Report benchReport `json:"report"`
+}
+
+// appendTrajectory folds rep into the trajectory file under label.
+func appendTrajectory(path, label, note string, rep benchReport) error {
+	var tf trajectoryFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &tf); err != nil {
+			return fmt.Errorf("decoding %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if tf.Format == 0 {
+		tf.Format = 1
+	}
+	entry := trajectoryEntry{Label: label, Note: note, Report: rep}
+	replaced := false
+	for i := range tf.Entries {
+		if tf.Entries[i].Label == label {
+			tf.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		tf.Entries = append(tf.Entries, entry)
+	}
+	out, err := json.MarshalIndent(tf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// engineRecord is the JSON shape of gpu.EngineStats in bench reports.
+type engineRecord struct {
+	FlowRecomputes     int64 `json:"flow_recomputes"`
+	FlowSuccessions    int64 `json:"flow_successions"`
+	ProgressTouches    int64 `json:"progress_touches"`
+	ReapScans          int64 `json:"reap_scans"`
+	TLBEpochShootdowns int64 `json:"tlb_epoch_shootdowns"`
 }
 
 // headlineFigures is the -bench suite: the figures whose wall time the
@@ -221,6 +288,9 @@ func main() {
 		gatePath   = flag.String("gate", "", "compare this run's timings against the baseline JSON at this path; exit nonzero on regression")
 		gateOut    = flag.String("gateout", "BENCH_delta.json", "write the gate's per-figure delta report to this path (with -gate)")
 		gateTol    = flag.Float64("gatetol", 1.20, "regression tolerance: a figure fails the gate above this multiple of its scaled baseline")
+		trajPath   = flag.String("trajectory", "", "append this run's report to the per-PR bench history JSON at this path (BENCH_trajectory.json format; see BENCH.md)")
+		trajLabel  = flag.String("trajlabel", "head", "entry label for -trajectory; an existing entry with the same label is replaced")
+		trajNote   = flag.String("trajnote", "", "free-form provenance note stored with the -trajectory entry")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to this path")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the figure runs) to this path")
 	)
@@ -269,13 +339,13 @@ func main() {
 		}()
 	}
 
-	if err := run(*fig, *short, *models, *workers, *shards, *jsonPath, *bench, *gatePath, *gateOut, *gateTol); err != nil {
+	if err := run(*fig, *short, *models, *workers, *shards, *jsonPath, *bench, *gatePath, *gateOut, *gateTol, *trajPath, *trajLabel, *trajNote); err != nil {
 		fmt.Fprintf(os.Stderr, "g10bench: %v\n", err)
 		failed = true
 	}
 }
 
-func run(fig string, short bool, models string, workers, shards int, jsonPath string, bench bool, gatePath, gateOut string, gateTol float64) error {
+func run(fig string, short bool, models string, workers, shards int, jsonPath string, bench bool, gatePath, gateOut string, gateTol float64, trajPath, trajLabel, trajNote string) error {
 	opt := experiments.Options{Short: short, W: os.Stdout, Workers: workers, Shards: shards}
 	if models != "" {
 		opt.Models = strings.Split(models, ",")
@@ -315,6 +385,15 @@ func run(fig string, short bool, models string, workers, shards int, jsonPath st
 	if ran == 0 {
 		return fmt.Errorf("no figure matched %q", fig)
 	}
+	if es := s.EngineStats(); es != (gpu.EngineStats{}) {
+		report.Engine = &engineRecord{
+			FlowRecomputes:     es.FlowRecomputes,
+			FlowSuccessions:    es.FlowSuccessions,
+			ProgressTouches:    es.ProgressTouches,
+			ReapScans:          es.ReapScans,
+			TLBEpochShootdowns: es.TLBEpochShootdowns,
+		}
+	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -323,6 +402,11 @@ func run(fig string, short bool, models string, workers, shards int, jsonPath st
 		data = append(data, '\n')
 		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
 			return fmt.Errorf("writing %s: %w", jsonPath, err)
+		}
+	}
+	if trajPath != "" {
+		if err := appendTrajectory(trajPath, trajLabel, trajNote, report); err != nil {
+			return err
 		}
 	}
 	if gatePath != "" {

@@ -108,6 +108,10 @@ type Session struct {
 	results  map[string]*flight[gpu.Result]
 	clusters map[string]*flight[gpu.ClusterResult]
 	programs map[programKey]*flight[*planner.Program]
+	// engine accumulates engine-internal work counters over every cluster
+	// the session actually ran (cache hits add nothing: the work happened
+	// once). Guarded by mu.
+	engine gpu.EngineStats
 }
 
 // NewSession builds a session.
@@ -304,12 +308,27 @@ func (s *Session) RunCluster(key string, build func() (gpu.ClusterParams, error)
 		if p.Shards == 0 {
 			p.Shards = s.opt.Shards
 		}
+		var es gpu.EngineStats
+		if p.Engine == nil {
+			p.Engine = &es
+		}
 		res, err := gpu.RunCluster(p)
 		if err != nil {
 			return gpu.ClusterResult{}, fmt.Errorf("experiments: cluster %s: %w", key, err)
 		}
+		s.mu.Lock()
+		s.engine.Add(es)
+		s.mu.Unlock()
 		return res, nil
 	})
+}
+
+// EngineStats reports the engine-internal work counters accumulated over
+// every cluster simulation the session ran (memoized re-reads add nothing).
+func (s *Session) EngineStats() gpu.EngineStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine
 }
 
 // RunBase runs with the session's default (Table 2 or short-scaled) config.

@@ -25,12 +25,14 @@ import (
 )
 
 // component is one connected group of active flows and the busy resources
-// they traverse. flows is in n.active order and res in registration order,
-// so a per-component fill replays the global fill's iteration orders.
+// they traverse. res is kept in registration order so the bottleneck search
+// breaks ties exactly as the global fill's scan would; flow order is free —
+// a filling round freezes the set of flows using the bottleneck, and every
+// one subtracts the same share, so the fill is flow-order-independent bit
+// for bit.
 type component struct {
 	flows []*Flow
 	res   []*Resource
-	dirty bool
 }
 
 // parallelFillMinFlows gates the concurrent fill: below this many flows in
@@ -61,119 +63,94 @@ func (n *Network) markRouteDirty(route []*Resource) {
 	}
 }
 
-// ufFind resolves a busy-resource ordinal to its set root, halving the path
-// as it walks.
-func ufFind(parent []int32, i int32) int32 {
-	for parent[i] != i {
-		parent[i] = parent[parent[i]]
-		i = parent[i]
-	}
-	return i
-}
-
-// recomputeComponents is the component-decomposed progressive fill: collect
-// busy resources, union routes into components, fill only the dirty ones —
-// concurrently when a worker budget is set and the work warrants it.
+// recomputeComponents is the scoped component-decomposed progressive fill:
+// flood-fill the dirty components from the dirty resources through the
+// per-resource flow adjacency, then refill only those — concurrently when a
+// worker budget is set and the work warrants it. Components untouched since
+// the last recompute are never even visited: discovery cost scales with the
+// dirty subgraph, not the active set (one tenant's chunk completion walks
+// that tenant's coupling group, whatever the fleet size).
 func (n *Network) recomputeComponents() {
+	if !n.adjacency {
+		// First component-decomposed recompute: bring the adjacency up for
+		// every already-active flow; activations and completions maintain it
+		// from here on.
+		n.adjacency = true
+		for _, f := range n.active {
+			n.attachFlow(f)
+		}
+	}
 	n.busyStamp++
-	busy := n.busyScratch[:0]
-	for _, f := range n.active {
-		f.prevRate = f.rate
-		for _, r := range f.route {
-			if r.busyStamp != n.busyStamp {
-				r.busyStamp = n.busyStamp
-				r.avail = r.capacity
-				r.count = 0
-				r.busyOrd = int32(len(busy))
-				busy = append(busy, r)
-			}
-			r.count++
-		}
-	}
-	parent := n.ufParent[:0]
-	for i := range busy {
-		parent = append(parent, int32(i))
-	}
-	n.ufParent = parent
-	for _, f := range n.active {
-		a := ufFind(parent, f.route[0].busyOrd)
-		for _, r := range f.route[1:] {
-			b := ufFind(parent, r.busyOrd)
-			if a == b {
-				continue
-			}
-			if a < b {
-				parent[b] = a
-			} else {
-				parent[a] = b
-				a = b
-			}
-		}
-	}
-	// Order busy resources by registration index (insertion sort, as in the
-	// global fill) so each component's resource list scans in the order the
-	// global bottleneck search would visit it.
-	for i := 1; i < len(busy); i++ {
-		r := busy[i]
-		j := i - 1
-		for j >= 0 && busy[j].regIdx > r.regIdx {
-			busy[j+1] = busy[j]
-			j--
-		}
-		busy[j+1] = r
-	}
-	n.busyScratch = busy[:0]
-
-	rootComp := n.rootComp[:0]
-	for range parent {
-		rootComp = append(rootComp, -1)
-	}
-	n.rootComp = rootComp
+	stamp := n.busyStamp
 	comps := n.comps
 	ncomp := 0
-	for _, r := range busy {
-		root := ufFind(parent, r.busyOrd)
-		ci := rootComp[root]
-		if ci < 0 {
-			ci = int32(ncomp)
-			rootComp[root] = ci
-			if ncomp < len(comps) {
-				comps[ncomp].flows = comps[ncomp].flows[:0]
-				comps[ncomp].res = comps[ncomp].res[:0]
-				comps[ncomp].dirty = false
-			} else {
-				comps = append(comps, component{})
+	touched := n.touched[:0]
+	stack := n.resStack[:0]
+	for _, seed := range n.dirtyRes {
+		if seed.busyStamp == stamp || len(seed.flows) == 0 {
+			// Already flooded into an earlier component, or idle: a dirty
+			// resource with no active flows constrains nothing.
+			continue
+		}
+		if ncomp < len(comps) {
+			comps[ncomp].flows = comps[ncomp].flows[:0]
+			comps[ncomp].res = comps[ncomp].res[:0]
+		} else {
+			comps = append(comps, component{})
+		}
+		c := &comps[ncomp]
+		ncomp++
+		seed.busyStamp = stamp
+		seed.avail = seed.capacity
+		seed.count = 0
+		stack = append(stack, seed)
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c.res = append(c.res, r)
+			for _, f := range r.flows {
+				if f.fillStamp == stamp {
+					continue
+				}
+				f.fillStamp = stamp
+				f.prevRate = f.rate
+				c.flows = append(c.flows, f)
+				for _, r2 := range f.route {
+					if r2.busyStamp != stamp {
+						r2.busyStamp = stamp
+						r2.avail = r2.capacity
+						r2.count = 0
+						stack = append(stack, r2)
+					}
+					r2.count++
+				}
 			}
-			ncomp++
 		}
-		c := &comps[ci]
-		c.res = append(c.res, r)
-		if r.dirty {
-			c.dirty = true
+		// Order the component's resources by registration index (insertion
+		// sort, as in the global fill) so the bottleneck search visits them
+		// in the order the global scan would.
+		rs := c.res
+		for i := 1; i < len(rs); i++ {
+			r := rs[i]
+			j := i - 1
+			for j >= 0 && rs[j].regIdx > r.regIdx {
+				rs[j+1] = rs[j]
+				j--
+			}
+			rs[j+1] = r
 		}
+		touched = append(touched, c.flows...)
 	}
 	n.comps = comps
-	for _, f := range n.active {
-		ci := rootComp[ufFind(parent, f.route[0].busyOrd)]
-		comps[ci].flows = append(comps[ci].flows, f)
-	}
+	n.resStack = stack[:0]
+	n.touched = touched
 
-	dirty := n.dirtyComps[:0]
-	dirtyFlows := 0
-	for i := 0; i < ncomp; i++ {
-		if comps[i].dirty {
-			dirty = append(dirty, int32(i))
-			dirtyFlows += len(comps[i].flows)
-		}
-	}
-	n.dirtyComps = dirty[:0]
-
-	if n.workers > 1 && len(dirty) > 1 && dirtyFlows >= parallelFillMinFlows {
+	if n.workers > 1 && ncomp > 1 && len(touched) >= parallelFillMinFlows {
 		var cursor atomic.Int32
 		var wg sync.WaitGroup
 		workers := n.workers
-		if workers > len(dirty) {
-			workers = len(dirty)
+		if workers > ncomp {
+			workers = ncomp
 		}
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
@@ -181,18 +158,44 @@ func (n *Network) recomputeComponents() {
 				defer wg.Done()
 				for {
 					i := int(cursor.Add(1)) - 1
-					if i >= len(dirty) {
+					if i >= ncomp {
 						return
 					}
-					fillComponent(&comps[dirty[i]])
+					fillComponent(&comps[i])
 				}
 			}()
 		}
 		wg.Wait()
-		return
+	} else {
+		for i := 0; i < ncomp; i++ {
+			fillComponent(&comps[i])
+		}
 	}
-	for _, ci := range dirty {
-		fillComponent(&comps[ci])
+	// Settle the flows whose rate the fill changed (replaying elapsed
+	// segments at the outgoing rate — untouched components and unchanged
+	// flows keep their settlement debt), then re-derive the refilled
+	// components' aggregate service rates. Both run serially, after the
+	// workers join.
+	if !n.eager {
+		for ci := 0; ci < ncomp; ci++ {
+			c := &comps[ci]
+			for _, f := range c.flows {
+				if f.rate != f.prevRate {
+					n.settleFlowAt(f, f.prevRate)
+				}
+			}
+			for _, r := range c.res {
+				n.fold(r)
+				r.aggRate = 0
+				r.aggN = 0
+			}
+			for _, f := range c.flows {
+				for _, r := range f.route {
+					r.aggRate += f.rate
+					r.aggN++
+				}
+			}
+		}
 	}
 }
 

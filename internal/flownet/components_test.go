@@ -48,8 +48,14 @@ func driveDifferential(t *testing.T, seed int64, mutate func(ref, dut *Network))
 			}
 		}
 		for i := range refS {
-			if refS[i].BytesServed != dutS[i].BytesServed {
-				t.Fatalf("%s: %s served %v (ref) vs %v (dut)", op, refS[i].Name, refS[i].BytesServed, dutS[i].BytesServed)
+			// Byte counters are integrated lazily; settlement points differ
+			// between the global and component fills (the global fill settles
+			// every flow, a component fill only dirty groups), so the sums
+			// associate differently — equal to float reassociation error. The
+			// per-flow observables above stay bit-exact.
+			rb, db := refS[i].BytesServed(), dutS[i].BytesServed()
+			if diff := rb - db; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("%s: %s served %v (ref) vs %v (dut)", op, refS[i].Name, rb, db)
 			}
 		}
 	}

@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"g10sim/internal/units"
 )
@@ -24,10 +25,21 @@ import (
 // Resource is a shared link or device channel with finite bandwidth.
 type Resource struct {
 	Name string
-	// BytesServed accumulates all bytes that have traversed this resource.
-	BytesServed float64
 
+	net      *Network
 	capacity float64 // bytes/sec
+	// served is the byte count traversed so far, lazily integrated from
+	// aggRate (see BytesServed). On the eager reference path it is instead
+	// accumulated per flow per event by progress.
+	served float64
+	// aggRate is the summed rate of the aggN active flows currently routed
+	// through this resource; served integrates it between folds. Rebuilt
+	// from scratch at every recompute (rebuildAggregates) and adjusted in
+	// place by completions and successions; reset to exactly zero whenever
+	// the last flow leaves, so float residue cannot accumulate while idle.
+	aggRate  float64
+	aggN     int
+	lastFold units.Time
 	// scratch fields used by the allocator.
 	avail float64
 	count int
@@ -37,18 +49,35 @@ type Resource struct {
 	regIdx int
 	// busyStamp marks membership in the current recompute's busy list.
 	busyStamp uint64
-	// busyOrd is this resource's slot in the current recompute's busy list —
-	// the union-find key for component decomposition.
-	busyOrd int32
 	// dirty marks the resource as touched (a flow routed through it started,
 	// completed, or succeeded; or its capacity changed) since the last
 	// recompute. A connected component with no dirty resource kept its exact
 	// allocation and is skipped.
 	dirty bool
+	// flows lists the active flows routed through this resource (arbitrary
+	// order, swap-removed on completion) — the adjacency the scoped
+	// recompute flood-fills dirty components through, so discovery cost
+	// scales with the dirty subgraph, not the whole active set. Maintained
+	// only once Network.adjacency is enabled (the first component-decomposed
+	// recompute); small networks never pay for it.
+	flows []*Flow
 }
 
 // Capacity reports the resource's current bandwidth.
 func (r *Resource) Capacity() units.Bandwidth { return units.Bandwidth(r.capacity) }
+
+// BytesServed reports all bytes that have traversed this resource. The value
+// is integrated lazily from the aggregate service rate of the flows routed
+// through it; flow settlement points reconcile it against the exact
+// per-segment byte movement, so it matches the eager per-event accumulation
+// up to float reassociation error (the per-flow observables — remaining
+// bytes, completion times — stay bit-exact; see DESIGN.md §12).
+func (r *Resource) BytesServed() float64 {
+	if r.net != nil {
+		r.net.fold(r)
+	}
+	return r.served
+}
 
 // Flow is one transfer in flight (or scheduled to start).
 type Flow struct {
@@ -84,6 +113,21 @@ type Flow struct {
 	// discarded lazily when they surface at the heap top.
 	compGen uint32
 	inComp  bool
+	// segIdx is the absolute index into the network's progress-segment log
+	// up to which this flow's remaining byte count is settled: remaining is
+	// exact as of segLog time segIdx and owed the per-segment deductions of
+	// every later segment (settleFlow replays them on demand).
+	segIdx int64
+	// actIdx is this flow's slot in n.active, so the heap-driven reap can
+	// swap-remove a completion without scanning the active set.
+	actIdx int
+	// resSlot[k] is this flow's slot in route[k].flows (adjacency
+	// bookkeeping for O(1) detachment); fillStamp marks discovery by the
+	// current recompute's flood fill. slotBuf backs resSlot for the common
+	// short route so attachment allocates nothing.
+	resSlot   []int32
+	slotBuf   [4]int32
+	fillStamp uint64
 }
 
 // Done reports whether the flow has completed.
@@ -99,8 +143,14 @@ func (f *Flow) Rate() units.Bandwidth {
 	return units.Bandwidth(f.rate)
 }
 
-// Remaining reports the bytes not yet transferred.
-func (f *Flow) Remaining() units.Bytes { return units.Bytes(math.Ceil(f.remaining)) }
+// Remaining reports the bytes not yet transferred, settling any progress
+// segments elapsed since the flow's last observation point first.
+func (f *Flow) Remaining() units.Bytes {
+	if f.net != nil {
+		f.net.settleFlow(f)
+	}
+	return units.Bytes(math.Ceil(f.remaining))
+}
 
 // Route returns the resources the flow traverses.
 func (f *Flow) Route() []*Resource { return f.route }
@@ -140,11 +190,14 @@ type Network struct {
 	// forceGlobalFill pins recompute to the direct global fill at any size —
 	// the reference side of the component-decomposition differential tests.
 	forceGlobalFill bool
+	// adjacency marks the per-resource flow lists as live. Enabled by the
+	// first component-decomposed recompute (which bulk-attaches every active
+	// flow) and maintained incrementally from then on.
+	adjacency bool
 	// Component-decomposition scratch, reused across recomputes.
-	ufParent   []int32
-	rootComp   []int32
-	comps      []component
-	dirtyComps []int32
+	comps    []component
+	resStack []*Resource
+	touched  []*Flow // flows in this recompute's dirty components
 	// doneBuf accumulates one AdvanceTo call's completions; reused.
 	doneBuf []*Flow
 
@@ -167,12 +220,38 @@ type Network struct {
 	reapedN       int
 	succeededN    int
 
+	// segLog is the progress-segment log: the times at which the clock
+	// moved since the oldest unsettled flow's settlement point. segLog[0]
+	// is the settlement horizon (absolute index segBase) and the last entry
+	// always equals now, so segment i spans [segLog[i-1].at, segLog[i].at]
+	// with precomputed width segLog[i].dt — the exact float the eager loop
+	// would have used for that event's deduction. progress appends one entry
+	// per clock move — O(1) per event — and settleFlow replays a flow's
+	// pending segments on demand. The log is compacted (all flows settled,
+	// log collapsed) past a size bound.
+	segLog  []segment
+	segBase int64
+	// eager pins this network to the reference per-event path: progress
+	// deducts bytes from every active flow at every event and reap scans
+	// the whole active set. Latched from ForceEagerProgressForTest at New.
+	eager bool
+	// reapScratch holds heap entries popped and re-keyed by one reap.
+	reapScratch []compEntry
+
 	// recomputes counts rate re-derivations; successions counts completions
 	// advanced in place without one. Observability for tests and benchmarks:
 	// a pure chunk train's event count scales with rate-change points, not
 	// chunk count.
 	recomputes  int64
 	successions int64
+	// progressTouches counts per-flow byte-accounting steps: one per active
+	// flow per event on the eager path, one per replayed segment per
+	// settlement on the lazy path — the O(active × events) vs O(events)
+	// claim as an asserted number. reapScans counts flows examined for
+	// completion: the whole active set per reap when scanning, only popped
+	// completion-heap candidates when heap-driven.
+	progressTouches int64
+	reapScans       int64
 
 	// nextEvCache memoises NextEvent between state changes: the drivers ask
 	// for the next event several times per consumed event (the advance loop,
@@ -279,9 +358,31 @@ func (h *compHeap) pop() compEntry {
 	return e
 }
 
+// forceEagerProgress pins networks created while set to the eager
+// reference path. Process-global so differential tests can force it for
+// whole simulation runs; latched per network at New.
+var forceEagerProgress atomic.Bool
+
+// ForceEagerProgressForTest makes every subsequently created Network use
+// the eager per-event progress/reap reference path instead of the lazy
+// settlement path. The two must agree bit for bit on every per-flow
+// observable; differential tests pin that.
+func ForceEagerProgressForTest(v bool) { forceEagerProgress.Store(v) }
+
+// segment is one progress-segment boundary: the clock value and the width
+// (in seconds, converted once at append time) of the segment it closes.
+type segment struct {
+	at units.Time
+	dt float64
+}
+
 // New returns an empty network at time zero.
 func New() *Network {
-	return &Network{resIndex: make(map[string]*Resource)}
+	return &Network{
+		resIndex: make(map[string]*Resource),
+		segLog:   []segment{{}},
+		eager:    forceEagerProgress.Load(),
+	}
 }
 
 // Now reports the network clock.
@@ -295,12 +396,23 @@ func (n *Network) Recomputes() int64 { return n.recomputes }
 // Succeed without a rate recompute (the conveyor fast path).
 func (n *Network) Successions() int64 { return n.successions }
 
+// ProgressTouches reports how many per-flow byte-accounting steps the
+// network has performed: every (flow, elapsed segment) deduction, whether
+// done eagerly at the event or replayed at a settlement point. The lazy
+// path's count scales with rate-change points rather than events × flows.
+func (n *Network) ProgressTouches() int64 { return n.progressTouches }
+
+// ReapScans reports how many flows reap has examined for completion. The
+// heap-driven reap examines only completion-heap candidates near the
+// clock; the scanning reference examines the whole active set per event.
+func (n *Network) ReapScans() int64 { return n.reapScans }
+
 // AddResource registers a resource. Names must be unique.
 func (n *Network) AddResource(name string, cap units.Bandwidth) *Resource {
 	if _, dup := n.resIndex[name]; dup {
 		panic(fmt.Sprintf("flownet: duplicate resource %q", name))
 	}
-	r := &Resource{Name: name, capacity: float64(cap), regIdx: len(n.res)}
+	r := &Resource{Name: name, net: n, capacity: float64(cap), regIdx: len(n.res)}
 	n.resIndex[name] = r
 	n.res = append(n.res, r)
 	return r
@@ -363,10 +475,61 @@ func (n *Network) StartAt(label string, size units.Bytes, at units.Time, data an
 
 func (n *Network) activate(f *Flow) {
 	f.active = true
+	f.segIdx = n.segTop()
+	f.actIdx = len(n.active)
 	n.active = append(n.active, f)
+	n.attachFlow(f)
 	n.markRouteDirty(f.route)
 	n.dirtyRates()
 }
+
+// attachFlow registers f on each route resource's flow list (no-op until
+// the scoped recompute enables adjacency).
+func (n *Network) attachFlow(f *Flow) {
+	if !n.adjacency {
+		return
+	}
+	if cap(f.resSlot) < len(f.route) {
+		if len(f.route) <= len(f.slotBuf) {
+			f.resSlot = f.slotBuf[:]
+		} else {
+			f.resSlot = make([]int32, len(f.route))
+		}
+	}
+	f.resSlot = f.resSlot[:len(f.route)]
+	for k, r := range f.route {
+		f.resSlot[k] = int32(len(r.flows))
+		r.flows = append(r.flows, f)
+	}
+}
+
+// detachFlow swap-removes f from each route resource's flow list, fixing
+// the displaced flow's slot. A route may name the same resource twice; the
+// slot value disambiguates which of the displaced flow's entries moved.
+func (n *Network) detachFlow(f *Flow) {
+	if !n.adjacency {
+		return
+	}
+	for k, r := range f.route {
+		s := f.resSlot[k]
+		last := int32(len(r.flows) - 1)
+		if moved := r.flows[last]; s != last {
+			r.flows[s] = moved
+			for k2, r2 := range moved.route {
+				if r2 == r && moved.resSlot[k2] == last {
+					moved.resSlot[k2] = s
+					break
+				}
+			}
+		}
+		r.flows[last] = nil
+		r.flows = r.flows[:last]
+	}
+}
+
+// segTop is the absolute index of the newest progress segment boundary
+// (whose time always equals now).
+func (n *Network) segTop() int64 { return n.segBase + int64(len(n.segLog)) - 1 }
 
 // NextEvent reports the earliest time at which the network's state changes on
 // its own: a dormant flow activates or an active flow completes. Returns
@@ -459,7 +622,11 @@ func (n *Network) minCompletion() units.Time {
 func (n *Network) Idle() bool { return len(n.active) == 0 && len(n.dormant) == 0 }
 
 func (n *Network) completionTime(f *Flow) units.Time {
-	if f.remaining <= 0 {
+	n.settleFlow(f)
+	if f.remaining < 0.5 {
+		// At or below the completion threshold: finishes at the next reap.
+		// (The eager path never evaluates a live flow in this band — reap
+		// runs before any completion-time query — so this matches it.)
 		return n.now
 	}
 	if f.rate <= 0 {
@@ -568,7 +735,20 @@ func (n *Network) Succeed(f *Flow, size units.Bytes) *Flow {
 	f.active = true
 	f.StartAt = n.now
 	f.CompletedAt = 0
+	f.segIdx = n.segTop()
+	f.actIdx = len(n.active)
 	n.active = append(n.active, f)
+	n.attachFlow(f)
+	if !n.eager {
+		// Re-enter the successor into the aggregate service rates its
+		// completion just left (the rate carries over; settle re-derives if
+		// the batch turns out impure).
+		for _, r := range f.route {
+			n.fold(r)
+			r.aggRate += f.rate
+			r.aggN++
+		}
+	}
 	n.nextEvOK = false
 	if n.pendingSettle {
 		// Deferred window: keep the predecessor's rate (identical by max-min
@@ -602,7 +782,10 @@ func (n *Network) step(e units.Time) {
 	for len(n.dormant) > 0 && n.dormant[0].StartAt <= n.now {
 		f := heap.Pop(&n.dormant).(*Flow)
 		f.active = true
+		f.segIdx = n.segTop()
+		f.actIdx = len(n.active)
 		n.active = append(n.active, f)
+		n.attachFlow(f)
 		n.markRouteDirty(f.route)
 		activated = true
 	}
@@ -611,7 +794,10 @@ func (n *Network) step(e units.Time) {
 	}
 }
 
-// progress transfers bytes on every active flow for the interval [now, to].
+// progress moves the clock to to. On the lazy path this only records the
+// segment boundary — O(1) per event; per-flow byte deduction is deferred to
+// settlement points (rate change, completion, query). The eager reference
+// path transfers bytes on every active flow immediately.
 func (n *Network) progress(to units.Time) {
 	if to <= n.now {
 		return
@@ -619,41 +805,139 @@ func (n *Network) progress(to units.Time) {
 	n.flushRates()
 	n.nextEvOK = false
 	dt := (to - n.now).Seconds()
-	for _, f := range n.active {
-		if f.rate <= 0 {
-			continue
+	if n.eager {
+		n.progressTouches += int64(len(n.active))
+		for _, f := range n.active {
+			if f.rate <= 0 {
+				continue
+			}
+			moved := f.rate * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			for _, r := range f.route {
+				r.served += moved
+			}
 		}
-		moved := f.rate * dt
-		if moved > f.remaining {
-			moved = f.remaining
-		}
-		f.remaining -= moved
-		for _, r := range f.route {
-			r.BytesServed += moved
-		}
+		n.now = to
+		return
 	}
 	n.now = to
+	n.segLog = append(n.segLog, segment{at: to, dt: dt})
+	if len(n.segLog) >= segLogCompactLimit {
+		n.compactSegLog()
+	}
+}
+
+// segLogCompactLimit bounds the retained segment log. Compaction settles
+// every active flow — work each would do anyway at its next settlement
+// point (a (flow, segment) pair is replayed at most once) — and collapses
+// the log to its newest boundary.
+const segLogCompactLimit = 1024
+
+func (n *Network) compactSegLog() {
+	for _, f := range n.active {
+		n.settleFlow(f)
+	}
+	last := n.segLog[len(n.segLog)-1]
+	n.segBase += int64(len(n.segLog)) - 1
+	n.segLog = n.segLog[:1]
+	n.segLog[0] = segment{at: last.at}
+}
+
+// settleFlow brings f's remaining byte count up to the current clock by
+// replaying the per-segment rate×dt deductions the eager path would have
+// performed between f's last settlement point and now, at the flow's
+// current rate (constant across its pending segments by construction:
+// every rate change settles the flow with the outgoing rate first — see
+// the post-fill settle loops in recompute).
+func (n *Network) settleFlow(f *Flow) { n.settleFlowAt(f, f.rate) }
+
+// settleFlowAt replays f's pending segments at the given rate — the same
+// float operations in the same order as the eager per-event loop, hence
+// bit-identical remaining values (the FP replay rule; one fused
+// rate×elapsed multiply would not be).
+func (n *Network) settleFlowAt(f *Flow, rate float64) {
+	top := n.segTop()
+	if f.segIdx >= top || !f.active {
+		return
+	}
+	if rate <= 0 {
+		// No bytes moved; the eager loop skips rate-0 flows entirely.
+		f.segIdx = top
+		return
+	}
+	segs := n.segLog[f.segIdx-n.segBase:]
+	n.progressTouches += int64(len(segs) - 1)
+	rem := f.remaining
+	for _, s := range segs[1:] {
+		moved := rate * s.dt
+		if moved > rem {
+			moved = rem
+		}
+		rem -= moved
+	}
+	exact := f.remaining - rem
+	f.remaining = rem
+	f.segIdx = top
+	// Reconcile the route's integrated byte counts with the exact
+	// per-segment sum: the aggregate integral accrued the rate over the
+	// whole span in fused terms, but clamping near completion moves fewer
+	// bytes.
+	if corr := exact - rate*(n.now-segs[0].at).Seconds(); corr != 0 {
+		for _, r := range f.route {
+			n.fold(r)
+			r.served += corr
+		}
+	}
+}
+
+// fold materializes r's served-byte integral up to now under the current
+// aggregate rate.
+func (n *Network) fold(r *Resource) {
+	if r.lastFold < n.now {
+		if r.aggRate != 0 {
+			r.served += r.aggRate * (n.now - r.lastFold).Seconds()
+		}
+		r.lastFold = n.now
+	}
+}
+
+// rebuildAggregates re-derives each busy resource's aggregate service rate
+// after a fill. Folding first materializes the integral up to now under the
+// outgoing rates; the re-summation runs over n.active in order, so the
+// global and component-decomposed fills produce identical aggregates.
+func (n *Network) rebuildAggregates(busy []*Resource) {
+	if n.eager {
+		return
+	}
+	for _, r := range busy {
+		n.fold(r)
+		r.aggRate = 0
+		r.aggN = 0
+	}
+	for _, f := range n.active {
+		for _, r := range f.route {
+			r.aggRate += f.rate
+			r.aggN++
+		}
+	}
 }
 
 // reap removes finished flows from the active set (remaining below half a
 // byte counts as finished, absorbing float error), appending them to
-// doneBuf ordered by flow ID within the batch.
+// doneBuf ordered by flow ID within the batch. In heap mode the candidates
+// come from the completion index — cost proportional to flows actually near
+// completion; below the heap threshold, and on the eager reference path,
+// every active flow is scanned.
 func (n *Network) reap() {
 	start := len(n.doneBuf)
-	kept := n.active[:0]
-	for _, f := range n.active {
-		if f.remaining < 0.5 {
-			f.remaining = 0
-			f.done = true
-			f.active = false
-			f.CompletedAt = n.now
-			n.markRouteDirty(f.route)
-			n.doneBuf = append(n.doneBuf, f)
-		} else {
-			kept = append(kept, f)
-		}
+	if n.heapMode && !n.eager {
+		n.reapHeap()
+	} else {
+		n.reapScan()
 	}
-	n.active = kept
 	if done := n.doneBuf[start:]; len(done) > 0 {
 		if n.deferSettle {
 			// Conveyor window: leave rates as they are; settle() re-derives
@@ -686,6 +970,102 @@ func (n *Network) reap() {
 	}
 }
 
+// reapScan examines every active flow for completion, compacting the
+// active set in place — the reference path, and the direct one while the
+// completion heap is down.
+func (n *Network) reapScan() {
+	n.reapScans += int64(len(n.active))
+	kept := n.active[:0]
+	for _, f := range n.active {
+		n.settleFlow(f)
+		if f.remaining < 0.5 {
+			n.finish(f)
+		} else {
+			f.actIdx = len(kept)
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(n.active); i++ {
+		n.active[i] = nil
+	}
+	n.active = kept
+}
+
+// reapSlack is how far past the clock reap looks into the completion heap
+// for candidates, in nanoseconds. A stored key can sit later than the
+// moment the flow's remaining bytes cross the half-byte completion
+// threshold by up to completionSlack of float drift plus 0.5/rate seconds
+// of ceil headroom; 256ns covers every rate above ~2 MB/s — far below any
+// allocation this simulator produces — so the heap-driven reap completes
+// flows at exactly the events the scanning reference would.
+const reapSlack = 256
+
+// reapHeap pops completion candidates from the heap: every entry keyed at
+// or before now+reapSlack is settled and either finished or re-keyed with
+// its freshly evaluated completion time.
+func (n *Network) reapHeap() {
+	if len(n.comp) == 0 {
+		return
+	}
+	limit := n.now + reapSlack
+	scratch := n.reapScratch[:0]
+	for len(n.comp) > 0 && n.comp[0].at <= limit {
+		e := n.comp.pop()
+		if e.stale() {
+			continue
+		}
+		n.reapScans++
+		n.settleFlow(e.f)
+		if e.f.remaining < 0.5 {
+			n.removeActive(e.f)
+			n.finish(e.f)
+		} else {
+			e.at = n.completionTime(e.f)
+			scratch = append(scratch, e)
+		}
+	}
+	for _, e := range scratch {
+		n.comp.push(e)
+	}
+	n.reapScratch = scratch[:0]
+}
+
+// finish marks f completed at the current clock, retires it from the
+// aggregate service rates, and appends it to doneBuf. The caller removes it
+// from the active set.
+func (n *Network) finish(f *Flow) {
+	f.remaining = 0
+	f.done = true
+	f.active = false
+	f.inComp = false
+	f.CompletedAt = n.now
+	n.detachFlow(f)
+	n.markRouteDirty(f.route)
+	if !n.eager {
+		for _, r := range f.route {
+			n.fold(r)
+			r.aggRate -= f.rate
+			if r.aggN--; r.aggN == 0 {
+				r.aggRate = 0
+			}
+		}
+	}
+	n.doneBuf = append(n.doneBuf, f)
+}
+
+// removeActive swap-removes f from the active set. The fill's results do
+// not depend on active order (each round's share is a pure function of the
+// busy resources, and every flow frozen in a round subtracts the same
+// value), and completion batches are sorted by ID, so reordering here is
+// unobservable.
+func (n *Network) removeActive(f *Flow) {
+	i, last := f.actIdx, len(n.active)-1
+	n.active[i] = n.active[last]
+	n.active[i].actIdx = i
+	n.active[last] = nil
+	n.active = n.active[:last]
+}
+
 // recompute derives max-min fair rates for all active flows by progressive
 // filling: repeatedly find the most constrained resource, give its flows
 // their equal share, freeze them, and remove that capacity. Small active
@@ -698,8 +1078,10 @@ func (n *Network) reap() {
 func (n *Network) recompute() {
 	n.recomputes++
 	n.nextEvOK = false
+	touched := n.active
 	if len(n.active) > smallFillLimit && !n.forceGlobalFill {
 		n.recomputeComponents()
+		touched = n.touched
 	} else {
 		n.recomputeGlobal()
 	}
@@ -707,7 +1089,13 @@ func (n *Network) recompute() {
 		r.dirty = false
 	}
 	n.dirtyRes = n.dirtyRes[:0]
-	n.rekeyCompletions()
+	n.rekeyCompletions(touched)
+	// Restore the steady-state invariant prevRate == rate, so the next
+	// scoped recompute and re-key can trust that untouched flows carry
+	// unchanged rates (and valid completion keys).
+	for _, f := range touched {
+		f.prevRate = f.rate
+	}
 }
 
 // smallFillLimit is the active-flow count at or below which recompute runs
@@ -788,13 +1176,25 @@ func (n *Network) recomputeGlobal() {
 			}
 		}
 	}
+	// Settle the flows whose rate the fill changed, replaying the elapsed
+	// segments at the outgoing rate; unchanged flows keep their settlement
+	// debt (their replay stays valid at the rate they still have).
+	for _, f := range n.active {
+		if f.rate != f.prevRate {
+			n.settleFlowAt(f, f.prevRate)
+		}
+	}
+	n.rebuildAggregates(busy)
 }
 
 // rekeyCompletions refreshes the completion index after a recompute. Tiny
 // active sets skip the heap entirely — a direct scan is cheaper than
 // maintaining it; above the threshold the heap is persistent and only flows
-// whose rate changed get a new (generation-bumped) entry.
-func (n *Network) rekeyCompletions() {
+// whose rate changed get a new (generation-bumped) entry. Only the
+// recompute's touched flows are examined: untouched flows kept their rate
+// (prevRate == rate between recomputes), so their absolute completion
+// times — and heap entries — are still valid.
+func (n *Network) rekeyCompletions(touched []*Flow) {
 	if len(n.active) <= compHeapThreshold {
 		if n.heapMode {
 			n.heapMode = false
@@ -807,7 +1207,7 @@ func (n *Network) rekeyCompletions() {
 	}
 	changed := 0
 	if n.heapMode {
-		for _, f := range n.active {
+		for _, f := range touched {
 			if !f.inComp || f.rate != f.prevRate {
 				changed++
 			}
@@ -831,7 +1231,7 @@ func (n *Network) rekeyCompletions() {
 		n.comp.init()
 		return
 	}
-	for _, f := range n.active {
+	for _, f := range touched {
 		if f.inComp && f.rate == f.prevRate {
 			continue // absolute completion time unchanged; entry still valid
 		}

@@ -165,10 +165,10 @@ func TestBytesServedAccounting(t *testing.T) {
 	n.Start("s", 2*units.GB, nil, ssd, pcie)
 	n.Start("h", 3*units.GB, nil, pcie)
 	n.AdvanceTo(100 * units.Second)
-	if got := units.Bytes(ssd.BytesServed); got != 2*units.GB {
+	if got := units.Bytes(ssd.BytesServed()); got != 2*units.GB {
 		t.Errorf("ssd served %v, want 2GB", got)
 	}
-	if got := units.Bytes(pcie.BytesServed); got != 5*units.GB {
+	if got := units.Bytes(pcie.BytesServed()); got != 5*units.GB {
 		t.Errorf("pcie served %v, want 5GB", got)
 	}
 }
@@ -269,7 +269,7 @@ func TestByteConservationProperty(t *testing.T) {
 			n.Start("f", sz, i, shared)
 		}
 		n.AdvanceTo(units.Forever - 1)
-		got := units.Bytes(math.Round(shared.BytesServed))
+		got := units.Bytes(math.Round(shared.BytesServed()))
 		return got == total && n.Idle()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

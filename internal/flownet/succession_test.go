@@ -56,7 +56,7 @@ func TestSuccessionMatchesChainedFlows(t *testing.T) {
 				}
 				cur := n.Start("train", seg, nil, link)
 				times := driveTrain(n, cur, seg, chunks, 30*units.Second, succeed)
-				return times, []float64{link.BytesServed, side.BytesServed}, n.Recomputes()
+				return times, []float64{link.BytesServed(), side.BytesServed()}, n.Recomputes()
 			}
 			refTimes, refServed, refRecomputes := run(false)
 			convTimes, convServed, convRecomputes := run(true)

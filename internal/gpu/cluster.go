@@ -74,6 +74,45 @@ type ClusterParams struct {
 	// near-linear in tenant count. Per-run state: concurrent RunCluster
 	// calls with distinct counters never contend.
 	StepCount *int64
+	// Engine, when non-nil, accumulates the run's engine-internal work
+	// counters (see EngineStats). Like StepCount, this is an out-parameter
+	// rather than a ClusterResult field so results stay byte-comparable
+	// across drivers and shard counts in differential tests while the
+	// bookkeeping costs — which legitimately differ between eager and lazy
+	// engine modes — are observable separately.
+	Engine *EngineStats
+}
+
+// EngineStats reports how much internal bookkeeping the simulation engine
+// performed during a run — the work the O(events) refactor bounds — as
+// opposed to what the simulated system did. The lazy engine keeps
+// ProgressTouches and ReapScans proportional to the event count where the
+// eager engine paid O(active flows) per clock advance; TestEngineStats
+// asserts the bound, and `g10bench -json` reports the counters per suite.
+type EngineStats struct {
+	// FlowRecomputes counts max-min rate re-derivations of the flow
+	// network; FlowSuccessions counts completions absorbed in place by the
+	// succession fast path without one.
+	FlowRecomputes  int64
+	FlowSuccessions int64
+	// ProgressTouches counts per-flow byte-accounting settlements;
+	// ReapScans counts flows examined for completion. Both are O(events)
+	// under the lazy engine and O(events x active flows) under the eager
+	// reference (ForceEagerProgressForTest).
+	ProgressTouches int64
+	ReapScans       int64
+	// TLBEpochShootdowns counts range shootdowns served by an epoch bump
+	// plus range note instead of a per-entry walk, summed over tenant TLBs.
+	TLBEpochShootdowns int64
+}
+
+// Add folds o into s.
+func (s *EngineStats) Add(o EngineStats) {
+	s.FlowRecomputes += o.FlowRecomputes
+	s.FlowSuccessions += o.FlowSuccessions
+	s.ProgressTouches += o.ProgressTouches
+	s.ReapScans += o.ReapScans
+	s.TLBEpochShootdowns += o.TLBEpochShootdowns
 }
 
 // Driver selects a cluster scheduler implementation.
@@ -181,6 +220,18 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 	}
 	out.SSDStats = sh.dev.Stats()
 	out.WriteAmp = sh.dev.WriteAmplification()
+	if p.Engine != nil {
+		es := EngineStats{
+			FlowRecomputes:  net.Recomputes(),
+			FlowSuccessions: net.Successions(),
+			ProgressTouches: net.ProgressTouches(),
+			ReapScans:       net.ReapScans(),
+		}
+		for _, r := range runners {
+			es.TLBEpochShootdowns += r.m.tlb.EpochShootdowns()
+		}
+		p.Engine.Add(es)
+	}
 	return out, nil
 }
 

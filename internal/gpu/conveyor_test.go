@@ -168,8 +168,8 @@ func TestChunkTrainRecomputesIndependentOfChunkCount(t *testing.T) {
 		roundTrip(t, m, id)
 		return m.net.Recomputes() - r0, m.net.Successions() - s0
 	}
-	rSmall, sSmall := measure(2 * units.MB)   // 128-chunk trains
-	rBig, sBig := measure(256 * units.MB)     // single-chunk migrations
+	rSmall, sSmall := measure(2 * units.MB) // 128-chunk trains
+	rBig, sBig := measure(256 * units.MB)   // single-chunk migrations
 	if wantSmall := 2 * int64(size/(2*units.MB)-1); sSmall != wantSmall {
 		t.Errorf("2MB chunks: %d successions, want %d", sSmall, wantSmall)
 	}

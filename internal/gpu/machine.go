@@ -151,6 +151,7 @@ type Machine struct {
 	lruHead        int
 	lruTail        int
 	lruLen         int
+	lruScratch     []int
 
 	// lat is the cumulative migration-lateness ledger (see lateness.go);
 	// the runner snapshots per-iteration deltas for adaptive policies.
@@ -408,12 +409,15 @@ func (m *Machine) HostFree() units.Bytes { return m.host.Free() }
 
 // ResidentLRU lists GPU-resident tensors with no in-flight migration,
 // least recently used first. The list is maintained incrementally as
-// tensors move; this returns a copy the caller may reorder freely.
+// tensors move. The returned slice is scratch owned by the Machine — the
+// caller may reorder it freely but must not retain it past the next call
+// (policies consume it inside one MakeRoom decision).
 func (m *Machine) ResidentLRU() []int {
-	out := make([]int, 0, m.lruLen)
+	out := m.lruScratch[:0]
 	for id := m.lruHead; id >= 0; id = m.states[id].lruNext {
 		out = append(out, id)
 	}
+	m.lruScratch = out
 	return out
 }
 

@@ -81,6 +81,12 @@ type PageTable struct {
 	pageSize units.Bytes
 	runs     []extent
 	mapped   int64
+	// tombs counts tombstone runs (loc == Unmapped): extents an UnmapRange
+	// cleared in place instead of splicing out, kept for O(1) reuse when
+	// the same span is remapped (the migration commit pattern). Translate
+	// and friends treat them as absent; compact() sweeps them once they
+	// outnumber live runs.
+	tombs int
 	// WalkLevels is the number of memory accesses one translation costs —
 	// used by the fault-latency model.
 	WalkLevels int
@@ -115,16 +121,18 @@ func (pt *PageTable) PageSize() units.Bytes { return pt.pageSize }
 func (pt *PageTable) Mapped() int64 { return pt.mapped }
 
 // Runs reports how many contiguous extents the table currently holds (a
-// fragmentation measure; one long-lived tensor should stay one run).
+// fragmentation measure; one long-lived tensor should stay one run). The
+// count includes tombstones awaiting reuse or compaction.
 func (pt *PageTable) Runs() int { return len(pt.runs) }
 
 // vpn converts a virtual address to its virtual page number.
 func (pt *PageTable) vpn(va uint64) uint64 { return va >> pt.pageBits }
 
-// findRun returns the index of the run containing vpn, or -1.
+// findRun returns the index of the live run containing vpn, or -1 (a
+// tombstone covering vpn is an absent translation).
 func (pt *PageTable) findRun(vpn uint64) int {
 	i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].end() > vpn })
-	if i < len(pt.runs) && pt.runs[i].vpn <= vpn {
+	if i < len(pt.runs) && pt.runs[i].vpn <= vpn && pt.runs[i].loc != Unmapped {
 		return i
 	}
 	return -1
@@ -150,7 +158,7 @@ func (pt *PageTable) Translate(va uint64) (PTE, bool) {
 // Unmap removes the translation for the page containing va, reporting
 // whether one existed.
 func (pt *PageTable) Unmap(va uint64) bool {
-	return pt.clearRange(pt.vpn(va), 1) > 0
+	return pt.clearRange(pt.vpn(va), 1, true) > 0
 }
 
 // MapRange maps pages contiguous virtual pages starting at va to
@@ -170,7 +178,7 @@ func (pt *PageTable) UnmapRange(va uint64, pages int64) int64 {
 	if pages <= 0 {
 		return 0
 	}
-	return pt.clearRange(pt.vpn(va), pages)
+	return pt.clearRange(pt.vpn(va), pages, true)
 }
 
 // RangeLocation reports the location of a contiguous range if uniform;
@@ -205,7 +213,39 @@ func (pt *PageTable) RangeLocation(va uint64, pages int64) (Location, bool) {
 // device addresses continue across the seam — so a tensor remapped in
 // chunks coalesces back into a single extent.
 func (pt *PageTable) mapRun(vpn uint64, pages int64, loc Location, addr uint64) {
-	pt.clearRange(vpn, pages)
+	if loc == Unmapped {
+		// Mapping to Unmapped is an unmap.
+		pt.clearRange(vpn, pages, true)
+		return
+	}
+	end := vpn + uint64(pages)
+	// Fast path: migrations rewrite a tensor's fixed span over and over.
+	// When one run — live or tombstone — covers exactly [vpn, end) and no
+	// seam merge would fire, only loc/addr change: no clear, no splice.
+	if i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].vpn >= vpn }); i < len(pt.runs) {
+		if r := &pt.runs[i]; r.vpn == vpn && r.pages == pages {
+			leftMerge := false
+			if i > 0 {
+				l := &pt.runs[i-1]
+				leftMerge = l.loc == loc && l.end() == vpn && l.addr+uint64(l.pages) == addr
+			}
+			rightMerge := false
+			if i+1 < len(pt.runs) {
+				rr := &pt.runs[i+1]
+				rightMerge = rr.loc == loc && rr.vpn == end && addr+uint64(pages) == rr.addr
+			}
+			if !leftMerge && !rightMerge {
+				if r.loc == Unmapped {
+					pt.tombs--
+					pt.mapped += pages
+				}
+				r.loc = loc
+				r.addr = addr
+				return
+			}
+		}
+	}
+	pt.clearRange(vpn, pages, false)
 	n := extent{vpn: vpn, pages: pages, loc: loc, addr: addr}
 	i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].vpn > vpn })
 	// Try merging with the left neighbor.
@@ -243,13 +283,56 @@ func (pt *PageTable) mapRun(vpn uint64, pages int64, loc Location, addr uint64) 
 }
 
 // clearRange removes all translations in [vpn, vpn+pages), splitting
-// partially covered runs, and returns how many pages were mapped.
-func (pt *PageTable) clearRange(vpn uint64, pages int64) int64 {
+// partially covered runs, and returns how many pages were mapped. With
+// keepTombs, fully covered runs become tombstones in place and partially
+// covered ones trim in place — no splice except the rare middle split —
+// so an UnmapRange costs O(log runs + runs overlapped), not O(runs).
+// Without keepTombs (the mapRun slow path, which must leave the span
+// empty for its insert), covered runs splice out as before.
+func (pt *PageTable) clearRange(vpn uint64, pages int64, keepTombs bool) int64 {
 	end := vpn + uint64(pages)
 	// First run that extends past vpn.
 	i := sort.Search(len(pt.runs), func(i int) bool { return pt.runs[i].end() > vpn })
 	if i >= len(pt.runs) || pt.runs[i].vpn >= end {
 		return 0
+	}
+	if keepTombs {
+		var removed int64
+		for j := i; j < len(pt.runs) && pt.runs[j].vpn < end; j++ {
+			r := &pt.runs[j]
+			if r.loc == Unmapped {
+				continue // already unmapped everywhere it covers
+			}
+			lo, hi := r.vpn, r.end()
+			switch {
+			case lo >= vpn && hi <= end: // fully covered: tombstone in place
+				removed += r.pages
+				r.loc = Unmapped
+				pt.tombs++
+			case lo < vpn && hi > end: // middle split: trim left, splice right in
+				right := extent{vpn: end, pages: int64(hi - end), loc: r.loc, addr: r.addr + (end - lo)}
+				removed += pages
+				r.pages = int64(vpn - lo)
+				pt.runs = append(pt.runs, extent{})
+				copy(pt.runs[j+2:], pt.runs[j+1:])
+				pt.runs[j+1] = right
+				pt.mapped -= removed
+				return removed // the only run that can overlap
+			case lo < vpn: // tail covered: trim in place
+				removed += int64(hi - vpn)
+				r.pages = int64(vpn - lo)
+			default: // head covered: trim in place (stays sorted: vpn grows)
+				removed += int64(end - lo)
+				r.addr += end - lo
+				r.vpn = end
+				r.pages = int64(hi - end)
+			}
+		}
+		pt.mapped -= removed
+		if pt.tombs > 8 && pt.tombs*2 > len(pt.runs) {
+			pt.compact()
+		}
+		return removed
 	}
 	var removed int64
 	var keep [2]extent // partial remainders at the seam(s)
@@ -258,6 +341,22 @@ func (pt *PageTable) clearRange(vpn uint64, pages int64) int64 {
 	for j < len(pt.runs) && pt.runs[j].vpn < end {
 		r := pt.runs[j]
 		lo, hi := r.vpn, r.end()
+		if r.loc == Unmapped {
+			pt.tombs--
+			// Remainders outside the cleared span stay tombstones.
+			if lo < vpn {
+				keep[nkeep] = extent{vpn: lo, pages: int64(vpn - lo)}
+				nkeep++
+				pt.tombs++
+			}
+			if hi > end {
+				keep[nkeep] = extent{vpn: end, pages: int64(hi - end)}
+				nkeep++
+				pt.tombs++
+			}
+			j++
+			continue
+		}
 		if lo < vpn {
 			keep[nkeep] = extent{vpn: lo, pages: int64(vpn - lo), loc: r.loc, addr: r.addr}
 			nkeep++
@@ -284,4 +383,19 @@ func (pt *PageTable) clearRange(vpn uint64, pages int64) int64 {
 	}
 	pt.mapped -= removed
 	return removed
+}
+
+// compact splices out every tombstone in one sweep, restoring run-count
+// proportionality to live extents. Amortized free: each tombstone was
+// created by an O(1) in-place clear, and the sweep runs only once they
+// outnumber live runs.
+func (pt *PageTable) compact() {
+	out := pt.runs[:0]
+	for _, r := range pt.runs {
+		if r.loc != Unmapped {
+			out = append(out, r)
+		}
+	}
+	pt.runs = out
+	pt.tombs = 0
 }
