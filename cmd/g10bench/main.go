@@ -57,6 +57,7 @@ var figures = []struct {
 	{"fleet", wrap(experiments.Fleet)},
 	{"adapt", wrap(experiments.Adapt)},
 	{"scaling", wrap(experiments.Scaling)},
+	{"maxminfill", wrap(experiments.MaxMinFill)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -153,11 +154,14 @@ type engineRecord struct {
 	ProgressTouches    int64 `json:"progress_touches"`
 	ReapScans          int64 `json:"reap_scans"`
 	TLBEpochShootdowns int64 `json:"tlb_epoch_shootdowns"`
+	FillRounds         int64 `json:"fill_rounds"`
+	FillResScans       int64 `json:"fill_res_scans"`
+	FrontierReuses     int64 `json:"frontier_reuses"`
 }
 
 // headlineFigures is the -bench suite: the figures whose wall time the
 // BENCH.md trajectory and the CI regression gate track.
-const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling"
+const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling,maxminfill"
 
 // calibrate times a fixed xorshift loop, a machine-speed yardstick for
 // scaling committed baselines across runner generations.
@@ -278,7 +282,7 @@ func runGate(cur benchReport, baselinePath, outPath string, tolerance float64) e
 
 func main() {
 	var (
-		fig        = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate,fleet,adapt, or 'all'")
+		fig        = flag.String("fig", "11", "figure to regenerate: 2,3,4,11..19,lifetime,multigpu,colocate,fleet,adapt,scaling,maxminfill, or 'all'")
 		bench      = flag.Bool("bench", false, "run the headline benchmark figures ("+headlineFigures+") once each, with a machine-speed calibration, and emit the timing JSON the CI gate consumes (see -json/-gate)")
 		short      = flag.Bool("short", false, "shrunken workloads for a fast pass")
 		models     = flag.String("models", "", "comma-separated model subset (default: all five)")
@@ -392,6 +396,9 @@ func run(fig string, short bool, models string, workers, shards int, jsonPath st
 			ProgressTouches:    es.ProgressTouches,
 			ReapScans:          es.ReapScans,
 			TLBEpochShootdowns: es.TLBEpochShootdowns,
+			FillRounds:         es.FillRounds,
+			FillResScans:       es.FillResScans,
+			FrontierReuses:     es.FrontierReuses,
 		}
 	}
 	if jsonPath != "" {

@@ -45,6 +45,7 @@ var goldenFigures = []struct {
 	{"fleet", discard(Fleet)},
 	{"adapt", discard(Adapt)},
 	{"scaling", discard(Scaling)},
+	{"maxminfill", discard(MaxMinFill)},
 }
 
 func discard[T any](f func(*Session) ([]T, error)) func(*Session) error {

@@ -19,7 +19,6 @@
 package flownet
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +32,13 @@ import (
 type component struct {
 	flows []*Flow
 	res   []*Resource
+	// fs is this component's private fill scratch and work counters (folded
+	// into the network after any parallel workers join); rec, when non-nil,
+	// asks the fill to record its trace for frontier refills; ref pins the
+	// fill to the reference scan loop (ForceReferenceFillForTest).
+	fs  fillState
+	rec *fillTrace
+	ref bool
 }
 
 // parallelFillMinFlows gates the concurrent fill: below this many flows in
@@ -86,6 +92,11 @@ func (n *Network) recomputeComponents() {
 	ncomp := 0
 	touched := n.touched[:0]
 	stack := n.resStack[:0]
+	traceGen := uint32(0)
+	if n.trace != nil {
+		traceGen = n.trace.gen
+	}
+	overlap := false
 	for _, seed := range n.dirtyRes {
 		if seed.busyStamp == stamp || len(seed.flows) == 0 {
 			// Already flooded into an earlier component, or idle: a dirty
@@ -99,10 +110,15 @@ func (n *Network) recomputeComponents() {
 			comps = append(comps, component{})
 		}
 		c := &comps[ncomp]
+		c.rec = nil
+		c.ref = n.refFill
 		ncomp++
 		seed.busyStamp = stamp
 		seed.avail = seed.capacity
 		seed.count = 0
+		if traceGen != 0 && seed.traceGen == traceGen {
+			overlap = true
+		}
 		stack = append(stack, seed)
 		for len(stack) > 0 {
 			r := stack[len(stack)-1]
@@ -120,6 +136,9 @@ func (n *Network) recomputeComponents() {
 						r2.busyStamp = stamp
 						r2.avail = r2.capacity
 						r2.count = 0
+						if traceGen != 0 && r2.traceGen == traceGen {
+							overlap = true
+						}
 						stack = append(stack, r2)
 					}
 					r2.count++
@@ -144,6 +163,29 @@ func (n *Network) recomputeComponents() {
 	n.comps = comps
 	n.resStack = stack[:0]
 	n.touched = touched
+
+	// Trace bookkeeping: a full fill of any component touching the traced
+	// one supersedes the trace (the refilled state no longer matches the
+	// recording); with no valid trace left, record the largest dirty
+	// component worth refilling incrementally — in the one-giant-component
+	// regime that is the coupling group nearly every future delta lands in.
+	if !n.refFill {
+		if overlap {
+			n.invalidateTrace()
+		}
+		if n.trace == nil {
+			best := -1
+			for i := 0; i < ncomp; i++ {
+				if len(comps[i].flows) >= frontierMinFlows && (best < 0 || len(comps[i].flows) > len(comps[best].flows)) {
+					best = i
+				}
+			}
+			if best >= 0 {
+				n.trace = n.newTrace()
+				comps[best].rec = n.trace
+			}
+		}
+	}
 
 	if n.workers > 1 && ncomp > 1 && len(touched) >= parallelFillMinFlows {
 		var cursor atomic.Int32
@@ -171,6 +213,11 @@ func (n *Network) recomputeComponents() {
 			fillComponent(&comps[i])
 		}
 	}
+	for i := 0; i < ncomp; i++ {
+		n.fillRounds += comps[i].fs.rounds
+		n.fillResScans += comps[i].fs.scans
+		comps[i].fs.rounds, comps[i].fs.scans = 0, 0
+	}
 	// Settle the flows whose rate the fill changed (replaying elapsed
 	// segments at the outgoing rate — untouched components and unchanged
 	// flows keep their settlement debt), then re-derive the refilled
@@ -194,52 +241,6 @@ func (n *Network) recomputeComponents() {
 					r.aggRate += f.rate
 					r.aggN++
 				}
-			}
-		}
-	}
-}
-
-// fillComponent runs progressive filling over one component: the same loop
-// as recomputeGlobal restricted to the component's flows and resources. All
-// writes are to component-local state, so dirty components fill in any
-// order — or concurrently — with bit-equal results.
-func fillComponent(c *component) {
-	for _, f := range c.flows {
-		f.frozen = false
-		f.rate = 0
-	}
-	unfrozen := len(c.flows)
-	for unfrozen > 0 {
-		var bottleneck *Resource
-		share := math.Inf(1)
-		for _, r := range c.res {
-			if r.count == 0 {
-				continue
-			}
-			if s := r.avail / float64(r.count); s < share {
-				share = s
-				bottleneck = r
-			}
-		}
-		if bottleneck == nil {
-			break
-		}
-		if share < 0 {
-			share = 0
-		}
-		for _, f := range c.flows {
-			if f.frozen || !flowUses(f, bottleneck) {
-				continue
-			}
-			f.frozen = true
-			f.rate = share
-			unfrozen--
-			for _, r := range f.route {
-				r.avail -= share
-				if r.avail < 0 {
-					r.avail = 0
-				}
-				r.count--
 			}
 		}
 	}

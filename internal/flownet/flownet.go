@@ -54,6 +54,26 @@ type Resource struct {
 	// recompute. A connected component with no dirty resource kept its exact
 	// allocation and is skipped.
 	dirty bool
+	// capDirty marks a capacity change since the last recompute; a frontier
+	// refill cannot absorb one (shares depend on capacity from round zero),
+	// so it forces a full fill of the resource's component.
+	capDirty bool
+	// Heap-fill scratch and fill-trace state (see fill.go). orderIdx is the
+	// component-local registration order backing the heap key's tie-break;
+	// hist/removedLevel/traceGen record this resource's history under the
+	// current fill trace; the delta* fields are per-refill scan scratch.
+	orderIdx     int32
+	fillHeap     int32
+	touchRound   int32
+	fillShare    float64
+	traceGen     uint32
+	removedLevel int32
+	histP        int32
+	deltaStamp   uint32
+	attachMark   uint32
+	deltaAdd     int32
+	deltaSub     int32
+	hist         []histEntry
 	// flows lists the active flows routed through this resource (arbitrary
 	// order, swap-removed on completion) — the adjacency the scoped
 	// recompute flood-fills dirty components through, so discovery cost
@@ -128,6 +148,13 @@ type Flow struct {
 	resSlot   []int32
 	slotBuf   [4]int32
 	fillStamp uint64
+	// Fill-trace state (see fill.go): freezeLevel/traceGen stamp the filling
+	// round that froze this flow under the current trace; attachRec/detachRec
+	// are 1-based indices into the pending delta lists (0 = none).
+	freezeLevel int32
+	traceGen    uint32
+	attachRec   int32
+	detachRec   int32
 }
 
 // Done reports whether the flow has completed.
@@ -198,6 +225,23 @@ type Network struct {
 	comps    []component
 	resStack []*Resource
 	touched  []*Flow // flows in this recompute's dirty components
+	// Fill trace and frontier-refill state (see fill.go). trace is the
+	// recorded fill of the traced component (nil when none); traceBuf is the
+	// reused backing object; the delta lists accumulate flow attach/detach
+	// records between recomputes; refillRes/refillFS are refill scratch.
+	trace       *fillTrace
+	traceBuf    *fillTrace
+	traceGenSrc uint32
+	deltaAttach []attachRec
+	deltaDetach []detachRec
+	deltaRes    []*Resource
+	deltaStamp  uint32
+	refillRes   []*Resource
+	refillFS    fillState
+	// refFill pins this network to the reference per-round-scan fill (no
+	// heap, no trace, no frontier refills). Latched from
+	// ForceReferenceFillForTest at New.
+	refFill bool
 	// doneBuf accumulates one AdvanceTo call's completions; reused.
 	doneBuf []*Flow
 
@@ -252,6 +296,13 @@ type Network struct {
 	// completion-heap candidates when heap-driven.
 	progressTouches int64
 	reapScans       int64
+	// fillRounds counts progressive-filling rounds (bottleneck selections);
+	// fillResScans counts resource examinations those rounds performed;
+	// frontierReuses counts recomputes served by a frontier refill of the
+	// recorded fill trace instead of a full component fill.
+	fillRounds     int64
+	fillResScans   int64
+	frontierReuses int64
 
 	// nextEvCache memoises NextEvent between state changes: the drivers ask
 	// for the next event several times per consumed event (the advance loop,
@@ -382,6 +433,7 @@ func New() *Network {
 		resIndex: make(map[string]*Resource),
 		segLog:   []segment{{}},
 		eager:    forceEagerProgress.Load(),
+		refFill:  forceReferenceFill.Load(),
 	}
 }
 
@@ -429,6 +481,7 @@ func (n *Network) SetCapacity(r *Resource, cap units.Bandwidth) {
 		return
 	}
 	r.capacity = float64(cap)
+	r.capDirty = true
 	n.markDirty(r)
 	n.dirtyRates()
 }
@@ -479,6 +532,7 @@ func (n *Network) activate(f *Flow) {
 	f.actIdx = len(n.active)
 	n.active = append(n.active, f)
 	n.attachFlow(f)
+	n.noteAttach(f, true)
 	n.markRouteDirty(f.route)
 	n.dirtyRates()
 }
@@ -753,6 +807,30 @@ func (n *Network) Succeed(f *Flow, size units.Bytes) *Flow {
 	if n.pendingSettle {
 		// Deferred window: keep the predecessor's rate (identical by max-min
 		// uniqueness if the batch stays pure; otherwise settle re-derives).
+		// The succession is transparent to the fill trace — same flow object,
+		// same route, same rate, completion entry pushed below — so the
+		// predecessor's detach record is cancelled and no attach is made.
+		// That transparency only holds while the completion's detach record
+		// is still pending. It can already be gone: a recompute inside the
+		// delivery window (a Rate/NextEvent query after the callback changed
+		// something) consumed it — the trace was re-derived without the
+		// completed predecessor — or the predecessor activated in this same
+		// window and noteDetach annihilated the attach/detach pair, so no
+		// trace ever saw the flow. Either way the successor must re-enter
+		// the delta as the arrival it is (non-fresh: the aggregate re-entry
+		// above already counted it), or it would run invisible to every
+		// future frontier reconstruction.
+		// And since that recompute may have re-derived the allocation
+		// without the predecessor, the carried rate is no longer protected
+		// by max-min uniqueness: the route must be marked dirty so the
+		// scoped fallback paths revisit this component when settle
+		// re-derives.
+		if f.detachRec > 0 {
+			n.cancelDetach(f)
+		} else {
+			n.noteAttach(f, false)
+			n.markRouteDirty(f.route)
+		}
 		n.succeededN++
 		if n.heapMode {
 			f.compGen++
@@ -764,9 +842,13 @@ func (n *Network) Succeed(f *Flow, size units.Bytes) *Flow {
 		return f
 	}
 	// Outside a deferred delivery (plain AdvanceTo callers): equivalent to
-	// starting the successor normally.
+	// starting the successor normally. The predecessor's detach record stays
+	// and a (non-fresh: the aggregate re-entry above already counted it)
+	// attach record joins it, so a frontier refill re-derives — and re-keys —
+	// the successor like any other arrival.
 	f.compGen++
 	f.inComp = false
+	n.noteAttach(f, false)
 	n.markRouteDirty(f.route)
 	n.dirtyRates()
 	return f
@@ -786,6 +868,7 @@ func (n *Network) step(e units.Time) {
 		f.actIdx = len(n.active)
 		n.active = append(n.active, f)
 		n.attachFlow(f)
+		n.noteAttach(f, true)
 		n.markRouteDirty(f.route)
 		activated = true
 	}
@@ -1040,6 +1123,7 @@ func (n *Network) finish(f *Flow) {
 	f.inComp = false
 	f.CompletedAt = n.now
 	n.detachFlow(f)
+	n.noteDetach(f)
 	n.markRouteDirty(f.route)
 	if !n.eager {
 		for _, r := range f.route {
@@ -1079,16 +1163,26 @@ func (n *Network) recompute() {
 	n.recomputes++
 	n.nextEvOK = false
 	touched := n.active
-	if len(n.active) > smallFillLimit && !n.forceGlobalFill {
+	if n.tryFrontier() {
+		// The whole delta fell inside the traced component: the frontier
+		// refill re-derived only the suffix at or above the restart level
+		// (fill.go); touched holds exactly the refilled flows.
+		touched = n.touched
+	} else if len(n.active) > smallFillLimit && !n.forceGlobalFill {
 		n.recomputeComponents()
 		touched = n.touched
 	} else {
+		// The direct global fill re-derives everything and records nothing;
+		// any recorded trace is stale afterwards.
+		n.invalidateTrace()
 		n.recomputeGlobal()
 	}
 	for _, r := range n.dirtyRes {
 		r.dirty = false
+		r.capDirty = false
 	}
 	n.dirtyRes = n.dirtyRes[:0]
+	n.clearDeltas()
 	n.rekeyCompletions(touched)
 	// Restore the steady-state invariant prevRate == rate, so the next
 	// scoped recompute and re-key can trust that untouched flows carry
@@ -1142,6 +1236,8 @@ func (n *Network) recomputeGlobal() {
 		// Find the bottleneck resource.
 		var bottleneck *Resource
 		share := math.Inf(1)
+		n.fillRounds++
+		n.fillResScans += int64(len(busy))
 		for _, r := range busy {
 			if r.count == 0 {
 				continue

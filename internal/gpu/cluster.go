@@ -104,6 +104,16 @@ type EngineStats struct {
 	// TLBEpochShootdowns counts range shootdowns served by an epoch bump
 	// plus range note instead of a per-entry walk, summed over tenant TLBs.
 	TLBEpochShootdowns int64
+	// FillRounds counts progressive-filling rounds (bottleneck selections)
+	// and FillResScans the resource examinations they performed — the heap
+	// fill pays per touched resource where the reference scan pays the whole
+	// component every round. FrontierReuses counts rate re-derivations
+	// served by a frontier refill of the recorded fill trace (prefix rates
+	// reused verbatim) instead of a full component fill; it is zero under
+	// ForceReferenceFillForTest.
+	FillRounds     int64
+	FillResScans   int64
+	FrontierReuses int64
 }
 
 // Add folds o into s.
@@ -113,6 +123,9 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.ProgressTouches += o.ProgressTouches
 	s.ReapScans += o.ReapScans
 	s.TLBEpochShootdowns += o.TLBEpochShootdowns
+	s.FillRounds += o.FillRounds
+	s.FillResScans += o.FillResScans
+	s.FrontierReuses += o.FrontierReuses
 }
 
 // Driver selects a cluster scheduler implementation.
@@ -226,6 +239,9 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 			FlowSuccessions: net.Successions(),
 			ProgressTouches: net.ProgressTouches(),
 			ReapScans:       net.ReapScans(),
+			FillRounds:      net.FillRounds(),
+			FillResScans:    net.FillResScans(),
+			FrontierReuses:  net.FrontierReuses(),
 		}
 		for _, r := range runners {
 			es.TLBEpochShootdowns += r.m.tlb.EpochShootdowns()

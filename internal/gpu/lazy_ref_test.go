@@ -31,6 +31,20 @@ func runEngineModes(t *testing.T, build func() ClusterParams) {
 		uvm.ForceReferenceTLBForTest(false)
 	}()
 	eagerEv, eagerPoll := runBothDrivers(t, build)
+	flownet.ForceEagerProgressForTest(false)
+	uvm.ForceReferenceTLBForTest(false)
+
+	// Third engine mode: the lazy engine with the reference max-min fill
+	// (full scan loops, no fill trace, no frontier refills) — pins the
+	// heap-driven fill and the frontier refill across models, policies,
+	// drivers, and shard counts.
+	flownet.ForceReferenceFillForTest(true)
+	defer flownet.ForceReferenceFillForTest(false)
+	refFillEv, refFillPoll := runBothDrivers(t, build)
+	sp = build()
+	sp.Shards = 3
+	refFillSharded := mustRunCluster(t, sp)
+	flownet.ForceReferenceFillForTest(false)
 
 	if !reflect.DeepEqual(lazyEv, eagerEv) {
 		t.Errorf("lazy engine diverged from eager reference (event driver):\nlazy:  %+v\neager: %+v", lazyEv, eagerEv)
@@ -40,6 +54,15 @@ func runEngineModes(t *testing.T, build func() ClusterParams) {
 	}
 	if !reflect.DeepEqual(lazyEv, lazySharded) {
 		t.Errorf("lazy engine diverged across shard counts:\nsequential: %+v\nsharded:    %+v", lazyEv, lazySharded)
+	}
+	if !reflect.DeepEqual(lazyEv, refFillEv) {
+		t.Errorf("heap fill diverged from reference fill (event driver):\nheap: %+v\nref:  %+v", lazyEv, refFillEv)
+	}
+	if !reflect.DeepEqual(lazyPoll, refFillPoll) {
+		t.Errorf("heap fill diverged from reference fill (polling driver):\nheap: %+v\nref:  %+v", lazyPoll, refFillPoll)
+	}
+	if !reflect.DeepEqual(lazyEv, refFillSharded) {
+		t.Errorf("heap fill diverged from sharded reference fill:\nheap: %+v\nref:  %+v", lazyEv, refFillSharded)
 	}
 }
 

@@ -139,6 +139,20 @@ type planner struct {
 	// the eager-rescheduling walk (parallel to decisions); the online
 	// re-timing layer anchors on it.
 	prefetchSlots []int
+
+	// areaCache memoizes excessArea by its full argument tuple between
+	// pressure mutations: the lazy-greedy heap re-evaluates many candidates
+	// whose free window and size are unchanged since the last commit, and
+	// each repeat is the identical integral (same slots, same order, same
+	// floats) — a hit returns the previously accumulated value, so plans
+	// cannot change. Every writer of pressure/excess flushes it.
+	areaCache map[areaKey]float64
+}
+
+// areaKey identifies one excessArea query within a planning pass.
+type areaKey struct {
+	from, to units.Time
+	size     float64
 }
 
 // New runs the full scheduling pipeline and returns the plan.
@@ -351,6 +365,10 @@ func (pl *planner) freeWindow(p *vitality.Period, target uvm.Location) (from, to
 // order (ascending global slot) with the same per-slot arithmetic as a full
 // scan, so the float accumulation is identical.
 func (pl *planner) excessArea(from, to units.Time, size float64) float64 {
+	key := areaKey{from: from, to: to, size: size}
+	if v, ok := pl.areaCache[key]; ok {
+		return v
+	}
 	cap := float64(pl.cfg.GPUCapacity)
 	var area float64
 	g0, gEnd := pl.fullSlotSpan(from, to)
@@ -388,6 +406,10 @@ func (pl *planner) excessArea(from, to units.Time, size float64) float64 {
 		}
 		gs += int64(span)
 	}
+	if pl.areaCache == nil {
+		pl.areaCache = make(map[areaKey]float64, 64)
+	}
+	pl.areaCache[key] = area
 	return area
 }
 
@@ -410,7 +432,9 @@ func (pl *planner) commit(p *vitality.Period) {
 	}
 
 	// Reduce pressure over the free window, keeping the over-capacity
-	// bitset and pressure max-tree in sync.
+	// bitset and pressure max-tree in sync. Pressure changes invalidate
+	// every memoized benefit integral.
+	clear(pl.areaCache)
 	capBytes := float64(pl.cfg.GPUCapacity)
 	g0, gEnd := pl.fullSlotSpan(from, to)
 	n64 := int64(pl.n)
@@ -545,6 +569,7 @@ func (pl *planner) schedulePrefetches() {
 		}
 		// The tensor re-occupies memory from the issue slot to the latest
 		// slot (it was counted from the latest slot onwards already).
+		clear(pl.areaCache)
 		for g := b; g < bLatest; g++ {
 			k := (g%pl.n + pl.n) % pl.n
 			pl.pressure[k] += float64(size)

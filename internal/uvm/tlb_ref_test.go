@@ -152,12 +152,30 @@ func TestTLBEpochRangeOverflowReconciles(t *testing.T) {
 	}
 	// Disjoint 2-page shootdowns at stride 4: each is a distinct range, so
 	// the pending list crosses maxTLBRanges and reconciles mid-stream.
+	// Interleaved lookups and re-inserts hit the overflow window itself —
+	// entries stamped between ranges must survive the overflow reconcile
+	// exactly as they survive the eager sweeps.
 	for lo := uint64(0); lo+2 <= span; lo += 4 {
 		ep.InvalidateRange(lo<<12, 2)
 		ref.InvalidateRange(lo<<12, 2)
+		if lo%16 == 8 {
+			a := (lo - 4) << 12
+			p1, ok1 := ep.Lookup(a)
+			p2, ok2 := ref.Lookup(a)
+			if ok1 != ok2 || p1 != p2 {
+				t.Fatalf("mid-overflow Lookup(%#x) = %+v,%v (epoch) vs %+v,%v (reference)", a, p1, ok1, p2, ok2)
+			}
+			pte := PTE{Loc: InHost, Addr: lo}
+			ep.Insert(a, pte)
+			ref.Insert(a, pte)
+		}
 	}
 	if int(span/4) <= maxTLBRanges {
 		t.Fatalf("test needs >%d disjoint ranges to exercise overflow, got %d", maxTLBRanges, span/4)
+	}
+	if ep.EpochShootdowns() <= int64(maxTLBRanges) {
+		t.Fatalf("only %d epoch shootdowns; the pending list never overflowed its %d-range cap",
+			ep.EpochShootdowns(), maxTLBRanges)
 	}
 	for vpn := uint64(0); vpn < span; vpn++ {
 		p1, ok1 := ep.Lookup(vpn << 12)
