@@ -58,6 +58,7 @@ var figures = []struct {
 	{"adapt", wrap(experiments.Adapt)},
 	{"scaling", wrap(experiments.Scaling)},
 	{"maxminfill", wrap(experiments.MaxMinFill)},
+	{"inference", wrap(experiments.Inference)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -161,7 +162,7 @@ type engineRecord struct {
 
 // headlineFigures is the -bench suite: the figures whose wall time the
 // BENCH.md trajectory and the CI regression gate track.
-const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling,maxminfill"
+const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling,maxminfill,inference"
 
 // calibrate times a fixed xorshift loop, a machine-speed yardstick for
 // scaling committed baselines across runner generations.
@@ -350,7 +351,7 @@ func main() {
 }
 
 func run(fig string, short bool, models string, workers, shards int, jsonPath string, bench bool, gatePath, gateOut string, gateTol float64, trajPath, trajLabel, trajNote string) error {
-	opt := experiments.Options{Short: short, W: os.Stdout, Workers: workers, Shards: shards}
+	opt := experiments.Options{Short: short, W: os.Stdout, Perf: os.Stdout, Workers: workers, Shards: shards}
 	if models != "" {
 		opt.Models = strings.Split(models, ",")
 	}

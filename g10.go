@@ -18,6 +18,7 @@ package g10sim
 
 import (
 	"fmt"
+	"sort"
 
 	"g10sim/internal/adapt"
 	"g10sim/internal/dnn"
@@ -334,6 +335,137 @@ func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, erro
 		out.AggregateThroughput += out.Jobs[i].Throughput
 	}
 	return out, nil
+}
+
+// InferenceRequest is one request of an LLM serving trace.
+type InferenceRequest struct {
+	// ArrivalSeconds admits the request mid-simulation (0 = present at
+	// start).
+	ArrivalSeconds float64
+	// PromptTokens is the prefill length; OutputTokens the decode length.
+	PromptTokens int
+	OutputTokens int
+}
+
+// InferenceConfig sizes the serving cluster. Zero values take the engine
+// defaults (four servers, 2048-block GPU KV pools, 512-block host tier,
+// 16-token 2 MiB blocks).
+type InferenceConfig struct {
+	Servers     int
+	GPUBlocks   int // per-server KV block pool
+	HostBlocks  int // shared host DRAM tier capacity, in blocks
+	BlockTokens int
+	BlockMB     float64
+
+	// Tiered swaps memory-pressure victims' KV to the host DRAM tier and
+	// reloads on demand, instead of vLLM-style preempt-and-recompute;
+	// OffloadThreshold is the GPU residency fraction above which cold KV
+	// offloads proactively while admissions queue (default 0.8).
+	Tiered           bool
+	OffloadThreshold float64
+
+	// Shards splits the simulation across shard workers; the report is
+	// byte-identical at any shard count.
+	Shards int
+}
+
+// InferenceRequestStat is one request's simulated timeline.
+type InferenceRequestStat struct {
+	ArrivalSeconds    float64
+	FirstTokenSeconds float64 // prefill completion (TTFT deadline)
+	FinishSeconds     float64
+	Server            int
+	Preempts          int
+	Offloads          int
+	Reloads           int
+}
+
+// InferenceReport is the outcome of one serving simulation.
+type InferenceReport struct {
+	Policy   string
+	Requests []InferenceRequestStat
+
+	// TTFT is arrival to first token; E2E arrival to finish (seconds,
+	// nearest-rank percentiles over the trace).
+	TTFTp50 float64
+	TTFTp99 float64
+	E2Ep50  float64
+	E2Ep99  float64
+
+	Preemptions     int64
+	Offloads        int64
+	Reloads         int64
+	OffloadedGB     float64
+	MakespanSeconds float64
+}
+
+// SimulateInference plays a request trace against the serving engine:
+// per-request KV caches grow block by block as tokens decode, and memory
+// pressure resolves by preemption (single-tier) or by swapping cold KV over
+// the tier edge to host DRAM (Tiered).
+func SimulateInference(reqs []InferenceRequest, cfg InferenceConfig) (InferenceReport, error) {
+	specs := make([]gpu.RequestSpec, len(reqs))
+	for i, rq := range reqs {
+		specs[i] = gpu.RequestSpec{
+			Arrival:      units.Time(rq.ArrivalSeconds * float64(units.Second)),
+			PromptTokens: rq.PromptTokens,
+			OutputTokens: rq.OutputTokens,
+		}
+	}
+	pol := policy.SingleTierKV()
+	if cfg.Tiered {
+		pol = policy.TieredKV(cfg.OffloadThreshold)
+	}
+	res, err := gpu.RunInference(gpu.InferenceParams{
+		Requests:    specs,
+		Policy:      pol,
+		Servers:     cfg.Servers,
+		GPUBlocks:   cfg.GPUBlocks,
+		HostBlocks:  cfg.HostBlocks,
+		BlockTokens: cfg.BlockTokens,
+		BlockBytes:  units.Bytes(cfg.BlockMB * float64(units.MB)),
+		Shards:      cfg.Shards,
+	})
+	if err != nil {
+		return InferenceReport{}, err
+	}
+	out := InferenceReport{
+		Policy:          pol.Name(),
+		Requests:        make([]InferenceRequestStat, len(res.Requests)),
+		Preemptions:     res.Preemptions,
+		Offloads:        res.Offloads,
+		Reloads:         res.Reloads,
+		OffloadedGB:     res.OffloadedBytes.GiB(),
+		MakespanSeconds: res.Makespan.Seconds(),
+	}
+	ttft := make([]float64, len(res.Requests))
+	e2e := make([]float64, len(res.Requests))
+	for i, rq := range res.Requests {
+		out.Requests[i] = InferenceRequestStat{
+			ArrivalSeconds:    rq.Arrival.Seconds(),
+			FirstTokenSeconds: rq.FirstToken.Seconds(),
+			FinishSeconds:     rq.Finish.Seconds(),
+			Server:            rq.Server,
+			Preempts:          rq.Preempts,
+			Offloads:          rq.Offloads,
+			Reloads:           rq.Reloads,
+		}
+		ttft[i] = units.Duration(rq.FirstToken - rq.Arrival).Seconds()
+		e2e[i] = units.Duration(rq.Finish - rq.Arrival).Seconds()
+	}
+	sort.Float64s(ttft)
+	sort.Float64s(e2e)
+	out.TTFTp50, out.TTFTp99 = quantile(ttft, 0.50), quantile(ttft, 0.99)
+	out.E2Ep50, out.E2Ep99 = quantile(e2e, 0.50), quantile(e2e, 0.99)
+	return out, nil
+}
+
+// quantile reads the nearest-rank q-quantile of a sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
 }
 
 // TensorKind classifies custom-model tensors (see NewGraphBuilder).

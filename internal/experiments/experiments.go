@@ -17,6 +17,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"g10sim/internal/adapt"
 	"g10sim/internal/gpu"
@@ -66,6 +67,10 @@ type Options struct {
 	Models []string
 	// W receives the printed tables; nil discards them.
 	W io.Writer
+	// Perf receives nondeterministic performance lines (host wall-clock
+	// simulator throughput); nil discards them. Kept separate from W so
+	// golden snapshots and differential runs stay byte-stable.
+	Perf io.Writer
 	// Workers bounds the simulation worker pool (0 = GOMAXPROCS, 1 =
 	// serial). Results are identical at any setting: runs are pure and the
 	// session cache is single-flight.
@@ -82,6 +87,13 @@ func (o Options) writer() io.Writer {
 		return io.Discard
 	}
 	return o.W
+}
+
+func (o Options) perfWriter() io.Writer {
+	if o.Perf == nil {
+		return io.Discard
+	}
+	return o.Perf
 }
 
 func (o Options) modelSet() []string {
@@ -104,10 +116,11 @@ var shortBatch = map[string]int{
 type Session struct {
 	opt      Options
 	mu       sync.Mutex
-	analyses map[string]*flight[*vitality.Analysis]
-	results  map[string]*flight[gpu.Result]
-	clusters map[string]*flight[gpu.ClusterResult]
-	programs map[programKey]*flight[*planner.Program]
+	analyses  map[string]*flight[*vitality.Analysis]
+	results   map[string]*flight[gpu.Result]
+	clusters  map[string]*flight[gpu.ClusterResult]
+	inference map[string]*flight[inferenceCell]
+	programs  map[programKey]*flight[*planner.Program]
 	// engine accumulates engine-internal work counters over every cluster
 	// the session actually ran (cache hits add nothing: the work happened
 	// once). Guarded by mu.
@@ -117,11 +130,12 @@ type Session struct {
 // NewSession builds a session.
 func NewSession(opt Options) *Session {
 	return &Session{
-		opt:      opt,
-		analyses: make(map[string]*flight[*vitality.Analysis]),
-		results:  make(map[string]*flight[gpu.Result]),
-		clusters: make(map[string]*flight[gpu.ClusterResult]),
-		programs: make(map[programKey]*flight[*planner.Program]),
+		opt:       opt,
+		analyses:  make(map[string]*flight[*vitality.Analysis]),
+		results:   make(map[string]*flight[gpu.Result]),
+		clusters:  make(map[string]*flight[gpu.ClusterResult]),
+		inference: make(map[string]*flight[inferenceCell]),
+		programs:  make(map[programKey]*flight[*planner.Program]),
 	}
 }
 
@@ -321,6 +335,50 @@ func (s *Session) RunCluster(key string, build func() (gpu.ClusterParams, error)
 		s.mu.Unlock()
 		return res, nil
 	})
+}
+
+// inferenceCell is one cached serving simulation plus the host wall time
+// its one real run took (cache hits reuse the measured time, so the perf
+// line reflects the simulation, not the memoization).
+type inferenceCell struct {
+	res  gpu.InferenceResult
+	wall time.Duration
+}
+
+// RunInference simulates a serving trace, caching by key and folding the
+// engine counters into the session like RunCluster does.
+func (s *Session) RunInference(key string, build func() (gpu.InferenceParams, error)) (gpu.InferenceResult, time.Duration, error) {
+	s.mu.Lock()
+	f, ok := s.inference[key]
+	if !ok {
+		f = &flight[inferenceCell]{}
+		s.inference[key] = f
+	}
+	s.mu.Unlock()
+	cell, err := f.do(func() (inferenceCell, error) {
+		p, err := build()
+		if err != nil {
+			return inferenceCell{}, err
+		}
+		if p.Shards == 0 {
+			p.Shards = s.opt.Shards
+		}
+		var es gpu.EngineStats
+		if p.Engine == nil {
+			p.Engine = &es
+		}
+		t0 := time.Now()
+		res, err := gpu.RunInference(p)
+		wall := time.Since(t0)
+		if err != nil {
+			return inferenceCell{}, fmt.Errorf("experiments: inference %s: %w", key, err)
+		}
+		s.mu.Lock()
+		s.engine.Add(es)
+		s.mu.Unlock()
+		return inferenceCell{res: res, wall: wall}, nil
+	})
+	return cell.res, cell.wall, err
 }
 
 // EngineStats reports the engine-internal work counters accumulated over

@@ -46,6 +46,7 @@ var goldenFigures = []struct {
 	{"adapt", discard(Adapt)},
 	{"scaling", discard(Scaling)},
 	{"maxminfill", discard(MaxMinFill)},
+	{"inference", discard(Inference)},
 }
 
 func discard[T any](f func(*Session) ([]T, error)) func(*Session) error {

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"g10sim/internal/gpu"
+)
+
+// TestInferenceFigureDeterministic is the experiments-level serving
+// differential: the printed inference figure must be byte-identical across
+// prewarm worker counts and shard counts — the parallelism knobs change
+// wall time only, never a number. Each combination runs a fresh session so
+// the single-flight caches cannot mask a divergence.
+func TestInferenceFigureDeterministic(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		for _, shards := range []int{1, 3} {
+			var buf bytes.Buffer
+			s := NewSession(Options{Short: true, W: &buf, Workers: workers, Shards: shards})
+			if _, err := Inference(s); err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("workers=%d shards=%d drifted%s", workers, shards,
+					goldenDiff(want, buf.Bytes()))
+			}
+		}
+	}
+}
+
+// TestInferenceCellDriversMatch closes the driver differential at figure
+// scale: every short-mode cell re-run under the polling reference scheduler
+// and the sharded driver must reproduce the event driver's result exactly.
+func TestInferenceCellDriversMatch(t *testing.T) {
+	s := NewSession(Options{Short: true})
+	for _, n := range s.inferenceSizes() {
+		for _, pol := range inferencePolicies() {
+			base := s.inferenceParams(pol, n)
+			runWith := func(driver gpu.Driver, shards int) gpu.InferenceResult {
+				p := base
+				p.Driver = driver
+				p.Shards = shards
+				res, err := gpu.RunInference(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			want := runWith(gpu.DriverEvents, 1)
+			if got := runWith(gpu.DriverPolling, 1); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s n=%d: polling driver diverged from events", pol.Name(), n)
+			}
+			if got := runWith(gpu.DriverAuto, 3); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s n=%d: sharded driver diverged from events", pol.Name(), n)
+			}
+		}
+	}
+}
+
+// TestInferenceSessionEngineStats pins the session-level counter plumbing
+// on the serving path: a tiered inference cell must fold its engine work
+// counters (flownet fill rounds, lazy progress touches, reap scans) into
+// the session totals that g10bench -json reports, and the memoized re-read
+// must add nothing.
+func TestInferenceSessionEngineStats(t *testing.T) {
+	s := NewSession(Options{Short: true})
+	tiered := inferencePolicies()[1]
+	if !tiered.HostTier() {
+		t.Fatalf("policy order changed: %s has no host tier", tiered.Name())
+	}
+	res, _, err := s.inferenceCell(tiered, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offloads == 0 {
+		t.Fatal("tiered short cell performed no offloads; the trace is undersized")
+	}
+	es := s.EngineStats()
+	if es.FillRounds <= 0 || es.ProgressTouches <= 0 || es.ReapScans <= 0 {
+		t.Fatalf("inference run left session engine counters empty: %+v", es)
+	}
+	if _, _, err := s.inferenceCell(tiered, 240); err != nil {
+		t.Fatal(err)
+	}
+	if again := s.EngineStats(); !reflect.DeepEqual(again, es) {
+		t.Errorf("memoized cell re-read changed engine stats: %+v -> %+v", es, again)
+	}
+}

@@ -348,6 +348,84 @@ func (b bitset) forEach(fn func(i int)) {
 	}
 }
 
+// wakeSet is a bitset with a word-range watermark: iteration touches only
+// [lo, hi], the words that can hold set bits, instead of the whole backing
+// array. The drivers size their sets over every tenant, and a serving trace
+// creates one tenant per request — 10^6 words-scans per round would make the
+// per-event cost O(tenants) and the whole run quadratic. Live indices
+// cluster (arrivals admit in index order and old requests finish), so the
+// window tracks the active span, not the trace length. Bounds are
+// conservative: clear() leaves them alone, and any()/forEach() tighten or
+// reset them while scanning.
+type wakeSet struct {
+	bits   bitset
+	lo, hi int // word bounds of possibly-set words; lo > hi means empty
+}
+
+func newWakeSet(n int) *wakeSet { return &wakeSet{bits: newBitset(n), lo: 1, hi: 0} }
+
+func (s *wakeSet) set(i int) {
+	w := i >> 6
+	if s.lo > s.hi {
+		s.lo, s.hi = w, w
+	} else if w < s.lo {
+		s.lo = w
+	} else if w > s.hi {
+		s.hi = w
+	}
+	s.bits.set(i)
+}
+
+func (s *wakeSet) clear(i int) { s.bits.clear(i) }
+
+func (s *wakeSet) any() bool {
+	for w := s.lo; w <= s.hi; w++ {
+		if s.bits[w] != 0 {
+			s.lo = w
+			return true
+		}
+	}
+	s.lo, s.hi = 1, 0
+	return false
+}
+
+// drain appends the set indices (ascending) to out and empties the set.
+func (s *wakeSet) drain(out []int) []int {
+	for wi := s.lo; wi <= s.hi; wi++ {
+		w := s.bits[wi]
+		for w != 0 {
+			out = append(out, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+		s.bits[wi] = 0
+	}
+	s.lo, s.hi = 1, 0
+	return out
+}
+
+// forEach visits set indices ascending; the visitor may clear bits and may
+// set bits above the cursor. Bounds are rebuilt from what survives.
+func (s *wakeSet) forEach(fn func(i int)) {
+	lo, hi := s.lo, s.hi
+	s.lo, s.hi = 1, 0 // fn's set() calls and the post-word checks rebuild
+	for wi := lo; wi <= hi; wi++ {
+		w := s.bits[wi]
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			fn(i)
+		}
+		if s.bits[wi] != 0 {
+			if s.lo > s.hi || wi < s.lo {
+				s.lo = wi
+			}
+			if wi > s.hi {
+				s.hi = wi
+			}
+		}
+	}
+}
+
 // driveEvents is the production scheduler: tenants sleep on a global
 // time-ordered wakeup structure — the kernel-end heap, the network's event
 // heap (whose completions carry owner tags), the host pool's grant queue,
@@ -365,8 +443,8 @@ func (b bitset) forEach(fn func(i int)) {
 // observationally empty).
 func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 	n := len(tenants)
-	ready := newBitset(n)
-	queued := newBitset(n)
+	ready := newWakeSet(n)
+	queued := newWakeSet(n)
 	var execH execHeap
 	var wake []int
 
@@ -434,7 +512,7 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 					heap.Push(&execH, execEntry{at: r.execEnd, idx: i})
 				}
 			}
-			if r.m.queues.Len() > 0 {
+			if r.queuedWork() {
 				queued.set(i)
 			} else {
 				queued.clear(i)
@@ -468,7 +546,7 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 				deliver(f)
 				if o := f.Owner; o >= 0 {
 					ready.set(o)
-					if tenants[o].m.queues.Len() > 0 {
+					if tenants[o].queuedWork() {
 						queued.set(o)
 					} else {
 						queued.clear(o)
@@ -479,9 +557,9 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 			// after each event, in index order — the arbiter's transfer-set
 			// rotation the polling loop performed for all tenants.
 			queued.forEach(func(i int) {
-				m := tenants[i].m
-				m.dispatch()
-				if m.queues.Len() == 0 {
+				r := tenants[i]
+				r.redispatch()
+				if !r.queuedWork() {
 					queued.clear(i)
 				}
 			})
@@ -510,6 +588,17 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 // (ForcePollingDriverForTest) and as executable documentation of the
 // semantics.
 func drivePolling(net *flownet.Network, tenants []*runner, steps *int64) error {
+	// Inference tenants' grants (server pump wakes) can land mid-round for
+	// an index already stepped; the woke flag re-rounds at the same clock,
+	// matching the event driver's same-clock follow-up rounds. Training
+	// tenants keep onHostWake nil here so the polling reference semantics
+	// they are differentially pinned against are untouched.
+	woke := false
+	for _, r := range tenants {
+		if r.inf != nil {
+			r.onHostWake = func() { woke = true }
+		}
+	}
 	for _, r := range tenants {
 		if r.arrival > 0 {
 			r.phase = phasePending
@@ -520,6 +609,7 @@ func drivePolling(net *flownet.Network, tenants []*runner, steps *int64) error {
 		}
 	}
 	for {
+		woke = false
 		next := units.Forever
 		live := false
 		for _, r := range tenants {
@@ -548,6 +638,9 @@ func drivePolling(net *flownet.Network, tenants []*runner, steps *int64) error {
 		if !live {
 			return nil
 		}
+		if woke {
+			continue // a mid-round grant: re-round at the same clock
+		}
 		next = units.MinTime(next, net.NextEvent())
 		if next == units.Forever {
 			return fmt.Errorf("gpu: cluster stalled with no pending events")
@@ -575,7 +668,7 @@ func advanceShared(net *flownet.Network, tenants []*runner, t units.Time) {
 			deliver(f)
 		}
 		for _, r := range tenants {
-			r.m.dispatch()
+			r.redispatch()
 		}
 	})
 }

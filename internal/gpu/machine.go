@@ -852,10 +852,14 @@ func (m *Machine) fail(reason string) {
 	}
 }
 
-// deliver hands a completed flow back to the machine that started it.
+// deliver hands a completed flow back to the tenant that started it: a
+// migration to its machine, a KV swap to its inference request.
 func deliver(f *flownet.Flow) {
-	if mig, ok := f.Data.(*migration); ok {
-		mig.owner.complete(f)
+	switch d := f.Data.(type) {
+	case *migration:
+		d.owner.complete(f)
+	case *kvTransfer:
+		d.q.kvLanded(d)
 	}
 }
 

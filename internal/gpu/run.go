@@ -116,6 +116,11 @@ type runner struct {
 	hostRejects0   int64
 	onHostWake     func()
 
+	// inf, when non-nil, makes this runner an inference request tenant
+	// (inference.go): step/start/admit dispatch to the serving step machine
+	// and m stays nil — request tenants have no Machine.
+	inf *infReq
+
 	// Measured-iteration snapshots.
 	iterStart    units.Time
 	ledger0      traffic
@@ -159,6 +164,10 @@ func newRunner(m *Machine, exec *profile.Trace) (*runner, error) {
 // do not fit in GPU memory start in host memory or flash, exactly as a
 // first-touch UVM program would find them. Called once before stepping.
 func (r *runner) start() error {
+	if r.inf != nil {
+		r.inf.enqueue(reqQueued)
+		return nil
+	}
 	for id, t := range r.m.g.Tensors {
 		if t.Kind != dnn.Global {
 			continue
@@ -173,8 +182,25 @@ func (r *runner) start() error {
 // admit seeds a dynamically arriving tenant at the current clock and makes
 // it steppable.
 func (r *runner) admit() error {
+	if r.inf != nil {
+		r.inf.enqueue(reqQueued)
+		return nil
+	}
 	r.phase = phaseBoundary
 	return r.start()
+}
+
+// queuedWork reports pending migration metadata to re-dispatch after
+// network events (always false for inference tenants, which have no
+// Machine).
+func (r *runner) queuedWork() bool { return r.m != nil && r.m.queues.Len() > 0 }
+
+// redispatch pumps the machine's migration metadata queues (no-op for
+// inference tenants).
+func (r *runner) redispatch() {
+	if r.m != nil {
+		r.m.dispatch()
+	}
 }
 
 // step advances the tenant as far as it can go without consuming simulated
@@ -182,6 +208,10 @@ func (r *runner) admit() error {
 // kernel (waiting for the clock to reach execEnd), or when it is blocked on
 // its in-flight migrations (waiting for a network event).
 func (r *runner) step() {
+	if r.inf != nil {
+		r.stepServe()
+		return
+	}
 	m := r.m
 	r.hostRejects0 = m.hostRejects
 	n := len(m.g.Kernels)

@@ -65,7 +65,7 @@ func planShards(n, k int) []shardSpan {
 // both at once.
 type shard struct {
 	span  shardSpan
-	ready bitset
+	ready *wakeSet
 	execH execHeap
 	wake  []int
 	steps int64
@@ -129,12 +129,12 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 	shards := make([]shard, len(spans))
 	shardOf := make([]int, n)
 	for si, sp := range spans {
-		shards[si] = shard{span: sp, ready: newBitset(n)}
+		shards[si] = shard{span: sp, ready: newWakeSet(n)}
 		for i := sp.lo; i < sp.hi; i++ {
 			shardOf[i] = si
 		}
 	}
-	queued := newBitset(n)
+	queued := newWakeSet(n)
 
 	// Jobs arriving mid-simulation: one global (arrival, index)-ordered
 	// queue, admitted on the coordinator — admission seeds tensors into the
@@ -213,7 +213,7 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 						heap.Push(&s.execH, execEntry{at: r.execEnd, idx: i})
 					}
 				}
-				if r.m.queues.Len() > 0 {
+				if r.queuedWork() {
 					queued.set(i)
 				} else {
 					queued.clear(i)
@@ -263,7 +263,7 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 				deliver(f)
 				if o := f.Owner; o >= 0 {
 					shards[shardOf[o]].ready.set(o)
-					if tenants[o].m.queues.Len() > 0 {
+					if tenants[o].queuedWork() {
 						queued.set(o)
 					} else {
 						queued.clear(o)
@@ -271,9 +271,9 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 				}
 			}
 			queued.forEach(func(i int) {
-				m := tenants[i].m
-				m.dispatch()
-				if m.queues.Len() == 0 {
+				r := tenants[i]
+				r.redispatch()
+				if !r.queuedWork() {
 					queued.clear(i)
 				}
 			})

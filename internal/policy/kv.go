@@ -1,0 +1,34 @@
+package policy
+
+import "g10sim/internal/gpu"
+
+// kvPolicy implements gpu.KVPolicy for the inference serving engine: the
+// single knob is whether a host KV tier exists and, if so, the residency
+// fraction above which the engine offloads proactively.
+type kvPolicy struct {
+	name     string
+	hostTier bool
+	offload  float64
+}
+
+func (p kvPolicy) Name() string       { return p.name }
+func (p kvPolicy) HostTier() bool     { return p.hostTier }
+func (p kvPolicy) OffloadAt() float64 { return p.offload }
+
+// SingleTierKV is the serving baseline: KV lives on the GPU only, and
+// memory pressure preempts the youngest decoding request (vLLM-style
+// recompute).
+func SingleTierKV() gpu.KVPolicy {
+	return kvPolicy{name: "single-tier"}
+}
+
+// TieredKV swaps pressure victims' KV blocks to the host DRAM tier instead
+// of preempting, and offloads proactively once GPU residency exceeds
+// threshold while admissions are queued. A threshold outside (0, 1]
+// defaults to 0.8, the H10-style setting.
+func TieredKV(threshold float64) gpu.KVPolicy {
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.8
+	}
+	return kvPolicy{name: "tiered-kv", hostTier: true, offload: threshold}
+}
