@@ -59,6 +59,7 @@ var figures = []struct {
 	{"scaling", wrap(experiments.Scaling)},
 	{"maxminfill", wrap(experiments.MaxMinFill)},
 	{"inference", wrap(experiments.Inference)},
+	{"faults", wrap(experiments.Faults)},
 }
 
 func wrap[T any](f func(*experiments.Session) ([]T, error)) func(*experiments.Session) error {
@@ -158,11 +159,14 @@ type engineRecord struct {
 	FillRounds         int64 `json:"fill_rounds"`
 	FillResScans       int64 `json:"fill_res_scans"`
 	FrontierReuses     int64 `json:"frontier_reuses"`
+	TenantAborts       int64 `json:"tenant_aborts"`
+	TenantRestarts     int64 `json:"tenant_restarts"`
+	CheckpointBytes    int64 `json:"checkpoint_bytes"`
 }
 
 // headlineFigures is the -bench suite: the figures whose wall time the
 // BENCH.md trajectory and the CI regression gate track.
-const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling,maxminfill,inference"
+const headlineFigures = "11,multigpu,colocate,fleet,adapt,scaling,maxminfill,inference,faults"
 
 // calibrate times a fixed xorshift loop, a machine-speed yardstick for
 // scaling committed baselines across runner generations.
@@ -400,6 +404,9 @@ func run(fig string, short bool, models string, workers, shards int, jsonPath st
 			FillRounds:         es.FillRounds,
 			FillResScans:       es.FillResScans,
 			FrontierReuses:     es.FrontierReuses,
+			TenantAborts:       es.TenantAborts,
+			TenantRestarts:     es.TenantRestarts,
+			CheckpointBytes:    es.CheckpointBytes,
 		}
 	}
 	if jsonPath != "" {

@@ -171,6 +171,14 @@ type Report struct {
 
 	Failed     bool
 	FailReason string
+
+	// Fault-injection accounting (cluster runs with ClusterConfig.Faults):
+	// crash recoveries, simulated progress lost to them, and the durable
+	// checkpoint traffic the job's recovery policy wrote to flash.
+	Restarts         int
+	WastedSeconds    float64
+	CheckpointGB     float64
+	CheckpointWrites int
 }
 
 // Simulate runs the workload under the named policy.
@@ -234,6 +242,10 @@ func reportFrom(res gpu.Result, icfg gpu.Config) Report {
 		SSDLifetimeYears:   icfg.SSD.LifetimeYears(rate),
 		Failed:             res.Failed,
 		FailReason:         res.FailReason,
+		Restarts:           res.Restarts,
+		WastedSeconds:      res.WastedTime.Seconds(),
+		CheckpointGB:       res.CheckpointBytes.GiB(),
+		CheckpointWrites:   res.CheckpointWrites,
 	}
 }
 
@@ -247,6 +259,11 @@ type ClusterJob struct {
 	// from the start), seeding its weights into whatever host and flash
 	// space the already-running jobs have left.
 	ArrivalSeconds float64
+	// Recovery selects how the job resumes after an injected server crash:
+	// "restart" (or empty — lose all progress) or "checkpoint" (periodic
+	// flash snapshots; resume from the last completed one). Only meaningful
+	// when ClusterConfig.Faults schedules crashes.
+	Recovery string
 }
 
 // ClusterConfig sizes a co-simulation. The embedded Config's per-GPU fields
@@ -262,6 +279,75 @@ type ClusterConfig struct {
 	// advancing independent scheduler state concurrently. The report is
 	// byte-identical at any shard count; <= 1 runs sequentially.
 	Shards int
+	// Faults injects a deterministic fault schedule — server crashes, PCIe
+	// link degradation windows, flash die failures. nil injects nothing.
+	Faults *FaultPlan
+	// CheckpointEvery fixes the snapshot cadence (iterations) for jobs with
+	// Recovery "checkpoint"; 0 derives the Young/Daly optimum from the
+	// schedule's MTBF.
+	CheckpointEvery int
+}
+
+// ServerCrash kills one job's server AtSeconds into the run. RepairSeconds
+// later the server is rebuilt and the job re-admitted (from scratch or its
+// last checkpoint, per ClusterJob.Recovery); Permanent crashes never repair
+// and the job fails.
+type ServerCrash struct {
+	Job           int
+	AtSeconds     float64
+	RepairSeconds float64
+	Permanent     bool
+}
+
+// LinkDegrade multiplies one job's PCIe bandwidth by Factor over
+// [FromSeconds, UntilSeconds) — a flaky or contended link.
+type LinkDegrade struct {
+	Job          int
+	FromSeconds  float64
+	UntilSeconds float64
+	Factor       float64
+}
+
+// DieFailure removes Dies flash dies from the shared array AtSeconds into
+// the run, shrinking its effective bandwidth and remaining capacity.
+type DieFailure struct {
+	AtSeconds float64
+	Dies      int
+}
+
+// FaultPlan is a deterministic fault schedule for one cluster run.
+type FaultPlan struct {
+	Crashes  []ServerCrash
+	Degrades []LinkDegrade
+	DieFails []DieFailure
+}
+
+// toInternal converts the seconds-based public plan to simulator time.
+func (p *FaultPlan) toInternal() *gpu.FaultPlan {
+	if p == nil {
+		return nil
+	}
+	sec := float64(units.Second)
+	out := &gpu.FaultPlan{}
+	for _, c := range p.Crashes {
+		repair := units.Duration(c.RepairSeconds * sec)
+		if c.Permanent {
+			repair = -1
+		}
+		out.Crashes = append(out.Crashes, gpu.CrashFault{
+			Tenant: c.Job, At: units.Time(c.AtSeconds * sec), RepairAfter: repair,
+		})
+	}
+	for _, d := range p.Degrades {
+		out.Degrades = append(out.Degrades, gpu.LinkDegrade{
+			Tenant: d.Job, From: units.Time(d.FromSeconds * sec),
+			Until: units.Time(d.UntilSeconds * sec), Factor: d.Factor,
+		})
+	}
+	for _, f := range p.DieFails {
+		out.DieFails = append(out.DieFails, gpu.DieFail{At: units.Time(f.AtSeconds * sec), Dies: f.Dies})
+	}
+	return out
 }
 
 // JobSpan is one job's admission and completion times on the cluster
@@ -307,15 +393,28 @@ func SimulateCluster(jobs []ClusterJob, ccfg ClusterConfig) (ClusterReport, erro
 		if err != nil {
 			return ClusterReport{}, err
 		}
+		var rec gpu.Recovery
+		switch j.Recovery {
+		case "", "restart":
+			rec = policy.Restart()
+		case "checkpoint":
+			rec = policy.Checkpoint(ccfg.CheckpointEvery)
+		default:
+			return ClusterReport{}, fmt.Errorf("g10sim: job %d: unknown recovery %q", i, j.Recovery)
+		}
 		tenants[i] = gpu.ClusterTenant{
 			Analysis:    j.Workload.analysis,
 			Policy:      pol,
 			Config:      tenantConfig(shared, j.Policy),
 			Tag:         fmt.Sprintf("gpu%d", i),
 			ArrivalTime: units.Time(j.ArrivalSeconds * float64(units.Second)),
+			Recovery:    rec,
 		}
 	}
-	cres, err := gpu.RunCluster(gpu.ClusterParams{Tenants: tenants, Shared: shared, Shards: ccfg.Shards})
+	cres, err := gpu.RunCluster(gpu.ClusterParams{
+		Tenants: tenants, Shared: shared, Shards: ccfg.Shards,
+		Faults: ccfg.Faults.toInternal(),
+	})
 	if err != nil {
 		return ClusterReport{}, err
 	}

@@ -296,3 +296,78 @@ func TestGraphBuilderValidates(t *testing.T) {
 		t.Error("orphan tensor accepted")
 	}
 }
+
+// TestSimulateClusterFaults exercises the public fault surface end to end:
+// a crash mid-run destroys work and forces a restart, checkpointing
+// recovers from the last snapshot instead of iteration zero, a permanent
+// crash fails the job, and an unknown recovery name is rejected.
+func TestSimulateClusterFaults(t *testing.T) {
+	cfg := smallConfig()
+	bert, err := BuildModel("BERT", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := func(rec string) []ClusterJob {
+		return []ClusterJob{
+			{Workload: bert, Policy: "G10", Recovery: rec},
+			{Workload: bert, Policy: "DeepUM+", Recovery: rec},
+		}
+	}
+	clean, err := SimulateCluster(jobs(""), ClusterConfig{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := &FaultPlan{Crashes: []ServerCrash{
+		{Job: 0, AtSeconds: clean.MakespanSeconds * 0.6, RepairSeconds: clean.MakespanSeconds * 0.05},
+	}}
+
+	restart, err := SimulateCluster(jobs("restart"), ClusterConfig{Config: cfg, Faults: crash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := SimulateCluster(jobs("checkpoint"), ClusterConfig{Config: cfg, Faults: crash, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, rep := range map[string]ClusterReport{"restart": restart, "checkpoint": ckpt} {
+		v := rep.Jobs[0]
+		if v.Failed {
+			t.Fatalf("%s: victim failed: %s", name, v.FailReason)
+		}
+		if v.Restarts != 1 || v.WastedSeconds <= 0 {
+			t.Errorf("%s: restarts=%d wasted=%.3fs — crash left no trace", name, v.Restarts, v.WastedSeconds)
+		}
+		if rep.MakespanSeconds <= clean.MakespanSeconds {
+			t.Errorf("%s: faulted makespan %.3fs not above clean %.3fs", name, rep.MakespanSeconds, clean.MakespanSeconds)
+		}
+	}
+	if ckpt.Jobs[0].CheckpointWrites == 0 || ckpt.Jobs[0].CheckpointGB <= 0 {
+		t.Errorf("checkpoint job wrote no snapshots: %+v", ckpt.Jobs[0])
+	}
+	if restart.Jobs[0].CheckpointWrites != 0 {
+		t.Errorf("restart job wrote %d snapshots", restart.Jobs[0].CheckpointWrites)
+	}
+	if ckpt.Jobs[0].WastedSeconds > restart.Jobs[0].WastedSeconds {
+		t.Errorf("checkpoint wasted %.3fs, restart %.3fs", ckpt.Jobs[0].WastedSeconds, restart.Jobs[0].WastedSeconds)
+	}
+
+	perm := &FaultPlan{Crashes: []ServerCrash{{Job: 1, AtSeconds: clean.MakespanSeconds * 0.3, Permanent: true}}}
+	dead, err := SimulateCluster(jobs("restart"), ClusterConfig{Config: cfg, Faults: perm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dead.Jobs[1].Failed {
+		t.Error("permanently crashed job reported success")
+	}
+	if dead.Jobs[0].Failed {
+		t.Errorf("surviving job failed: %s", dead.Jobs[0].FailReason)
+	}
+
+	if _, err := SimulateCluster(jobs("reincarnate"), ClusterConfig{Config: cfg}); err == nil {
+		t.Error("unknown recovery name accepted")
+	}
+	bad := &FaultPlan{Crashes: []ServerCrash{{Job: 5, AtSeconds: 1}}}
+	if _, err := SimulateCluster(jobs(""), ClusterConfig{Config: cfg, Faults: bad}); err == nil {
+		t.Error("out-of-range crash victim accepted")
+	}
+}

@@ -114,8 +114,8 @@ var shortBatch = map[string]int{
 // policy, config) combination simulates exactly once and the results are
 // identical to serial execution.
 type Session struct {
-	opt      Options
-	mu       sync.Mutex
+	opt       Options
+	mu        sync.Mutex
 	analyses  map[string]*flight[*vitality.Analysis]
 	results   map[string]*flight[gpu.Result]
 	clusters  map[string]*flight[gpu.ClusterResult]

@@ -47,6 +47,7 @@ var goldenFigures = []struct {
 	{"scaling", discard(Scaling)},
 	{"maxminfill", discard(MaxMinFill)},
 	{"inference", discard(Inference)},
+	{"faults", discard(Faults)},
 }
 
 func discard[T any](f func(*Session) ([]T, error)) func(*Session) error {

@@ -178,7 +178,7 @@ func Inference(s *Session) ([]InferenceRow, error) {
 			ttft := make([]float64, len(res.Requests))
 			e2e := make([]float64, len(res.Requests))
 			for i, rq := range res.Requests {
-				ttft[i] = units.Duration(rq.FirstToken - rq.Arrival).Seconds() * 1e3
+				ttft[i] = units.Duration(rq.FirstToken-rq.Arrival).Seconds() * 1e3
 				e2e[i] = units.Duration(rq.Finish - rq.Arrival).Seconds()
 			}
 			ttftSorted, e2eSorted := sortedCopy(ttft), sortedCopy(e2e)

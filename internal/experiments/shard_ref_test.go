@@ -124,7 +124,7 @@ func TestShardedMatchesSequentialFleetTrace(t *testing.T) {
 func TestShardedMatchesGolden(t *testing.T) {
 	sw := &switchWriter{}
 	s := NewSession(Options{Short: true, Models: goldenModels, W: sw, Shards: 3})
-	for _, name := range []string{"multigpu", "colocate", "fleet", "adapt", "scaling", "inference"} {
+	for _, name := range []string{"multigpu", "colocate", "fleet", "adapt", "scaling", "inference", "faults"} {
 		for _, fig := range goldenFigures {
 			if fig.name != name {
 				continue

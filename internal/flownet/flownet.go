@@ -1137,6 +1137,48 @@ func (n *Network) finish(f *Flow) {
 	n.doneBuf = append(n.doneBuf, f)
 }
 
+// Abort cancels a flow that will never complete: its byte accounting is
+// settled up to now, it leaves the active set (or the dormant heap if it
+// has not started), and it is marked done without ever joining a completion
+// batch — its payload is not delivered. The fault-injection layer uses this
+// to tear down a crashed tenant's in-flight transfers. Call it between
+// AdvanceEventwise calls, never from inside a delivery callback; aborting a
+// nil or already-finished flow is a no-op.
+func (n *Network) Abort(f *Flow) {
+	if f == nil || f.done {
+		return
+	}
+	if !f.active {
+		// Dormant: scheduled but not yet started.
+		if f.heapIdx >= 0 {
+			heap.Remove(&n.dormant, f.heapIdx)
+		}
+		f.done = true
+		f.CompletedAt = n.now
+		n.nextEvOK = false
+		return
+	}
+	n.settleFlow(f)
+	n.removeActive(f)
+	f.done = true
+	f.active = false
+	f.inComp = false
+	f.CompletedAt = n.now
+	n.detachFlow(f)
+	n.noteDetach(f)
+	n.markRouteDirty(f.route)
+	if !n.eager {
+		for _, r := range f.route {
+			n.fold(r)
+			r.aggRate -= f.rate
+			if r.aggN--; r.aggN == 0 {
+				r.aggRate = 0
+			}
+		}
+	}
+	n.dirtyRates()
+}
+
 // removeActive swap-removes f from the active set. The fill's results do
 // not depend on active order (each round's share is a pure function of the
 // busy resources, and every flow frozen in a round subtracts the same

@@ -23,6 +23,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"g10sim/internal/dnn"
 	"g10sim/internal/flownet"
 	"g10sim/internal/profile"
 	"g10sim/internal/ssd"
@@ -53,6 +54,10 @@ type ClusterTenant struct {
 	// start. The job's PCIe resources are registered up front so flownet's
 	// resource order is a function of the tenant list alone.
 	ArrivalTime units.Time
+	// Recovery selects how this tenant resumes after an injected crash
+	// (see faults.go and internal/policy). nil — or a run with no fault
+	// plan — restarts from iteration zero with no checkpoint overhead.
+	Recovery Recovery
 }
 
 // ClusterParams bundles a co-simulation's inputs.
@@ -81,6 +86,11 @@ type ClusterParams struct {
 	// bookkeeping costs — which legitimately differ between eager and lazy
 	// engine modes — are observable separately.
 	Engine *EngineStats
+	// Faults injects a deterministic fault schedule (faults.go). The events
+	// are applied at the same pump point in every driver, so byte-identity
+	// across drivers and shard counts holds for faulted runs too. nil or
+	// empty injects nothing and adds no overhead.
+	Faults *FaultPlan
 }
 
 // EngineStats reports how much internal bookkeeping the simulation engine
@@ -114,6 +124,13 @@ type EngineStats struct {
 	FillRounds     int64
 	FillResScans   int64
 	FrontierReuses int64
+	// TenantAborts counts kernels and flows torn down by injected crashes;
+	// TenantRestarts counts crash recoveries (a permanently crashed tenant
+	// restarts zero times); CheckpointBytes totals durable snapshot bytes
+	// written to flash, summed over tenants.
+	TenantAborts    int64
+	TenantRestarts  int64
+	CheckpointBytes int64
 }
 
 // Add folds o into s.
@@ -126,6 +143,9 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.FillRounds += o.FillRounds
 	s.FillResScans += o.FillResScans
 	s.FrontierReuses += o.FrontierReuses
+	s.TenantAborts += o.TenantAborts
+	s.TenantRestarts += o.TenantRestarts
+	s.CheckpointBytes += o.CheckpointBytes
 }
 
 // Driver selects a cluster scheduler implementation.
@@ -177,6 +197,11 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 	if len(p.Tenants) == 0 {
 		return ClusterResult{}, fmt.Errorf("gpu: cluster with no tenants")
 	}
+	if !p.Faults.Empty() {
+		if err := p.Faults.Validate(len(p.Tenants)); err != nil {
+			return ClusterResult{}, err
+		}
+	}
 	shCfg := p.Shared.withDefaults()
 	net := flownet.New()
 	var sh *Shared
@@ -213,6 +238,31 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 		runners[i] = r
 	}
 	opt := driveOptions{driver: p.Driver, shards: p.Shards, steps: p.StepCount}
+	if !p.Faults.Empty() {
+		opt.faults = newFaultClock(p.Faults, runners, sh, net)
+		mtbf := p.Faults.MTBF(len(p.Tenants))
+		for i, t := range p.Tenants {
+			if t.Recovery == nil {
+				continue
+			}
+			r := runners[i]
+			// A snapshot covers the job's global (weight/optimizer) tensors;
+			// its write cost is bounded by the eviction route's narrowest
+			// link. Both feed the policy's Young/Daly interval derivation.
+			var snap units.Bytes
+			for _, tn := range t.Analysis.Graph.Tensors {
+				if tn.Kind == dnn.Global {
+					snap += tn.Size
+				}
+			}
+			r.ckptBytes = snap
+			bw := r.m.cfg.PCIeBandwidth
+			if w := sh.dev.EffectiveWriteBandwidth(); w < bw {
+				bw = w
+			}
+			r.ckptEvery = t.Recovery.CheckpointInterval(r.exec.Total(), units.TransferTime(snap, bw), mtbf)
+		}
+	}
 	if err := drive(net, runners, opt); err != nil {
 		return ClusterResult{}, err
 	}
@@ -245,6 +295,9 @@ func RunCluster(p ClusterParams) (ClusterResult, error) {
 		}
 		for _, r := range runners {
 			es.TLBEpochShootdowns += r.m.tlb.EpochShootdowns()
+			es.TenantAborts += int64(r.abortedKerns + r.abortedFlows)
+			es.TenantRestarts += int64(r.restarts)
+			es.CheckpointBytes += int64(r.ckptWritten)
 		}
 		p.Engine.Add(es)
 	}
@@ -258,6 +311,7 @@ type driveOptions struct {
 	driver Driver
 	shards int
 	steps  *int64
+	faults *faultClock
 }
 
 // drive schedules the tenants on one shared clock.
@@ -266,11 +320,11 @@ func drive(net *flownet.Network, tenants []*runner, opt driveOptions) error {
 	var err error
 	switch {
 	case opt.driver == DriverPolling:
-		err = drivePolling(net, tenants, &steps)
+		err = drivePolling(net, tenants, opt.faults, &steps)
 	case opt.driver == DriverAuto && opt.shards > 1:
-		err = driveSharded(net, tenants, opt.shards, &steps)
+		err = driveSharded(net, tenants, opt.shards, opt.faults, &steps)
 	default:
-		err = driveEvents(net, tenants, &steps)
+		err = driveEvents(net, tenants, opt.faults, &steps)
 	}
 	if opt.steps != nil {
 		*opt.steps += steps
@@ -441,7 +495,7 @@ func (s *wakeSet) forEach(fn func(i int)) {
 // metadata queues per network event is likewise confined to machines with
 // queued requests (for the others the arbiter pop/requeue cycle is
 // observationally empty).
-func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
+func driveEvents(net *flownet.Network, tenants []*runner, faults *faultClock, steps *int64) error {
 	n := len(tenants)
 	ready := newWakeSet(n)
 	queued := newWakeSet(n)
@@ -495,7 +549,7 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 		wake = ready.drain(wake[:0])
 		for _, i := range wake {
 			r := tenants[i]
-			if r.phase == phaseDone || r.phase == phasePending {
+			if r.phase == phaseDone || r.phase == phasePending || r.phase == phaseCrashed {
 				continue
 			}
 			*steps++
@@ -533,12 +587,12 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 		if arrCursor < len(arrivals) {
 			next = units.MinTime(next, tenants[arrivals[arrCursor]].arrival)
 		}
-		next = units.MinTime(next, net.NextEvent())
+		next = units.MinTime(next, units.MinTime(net.NextEvent(), faults.next()))
 		if next == units.Forever {
 			// Cannot happen: a waiting tenant always has in-flight
 			// migrations (otherwise step streams or fails it), an
-			// executing tenant bounds next by its kernel end, and a
-			// pending tenant by its arrival.
+			// executing tenant bounds next by its kernel end, a pending
+			// tenant by its arrival, and a crashed tenant by its repair.
 			return fmt.Errorf("gpu: cluster stalled with no pending events")
 		}
 		net.AdvanceEventwise(next, func(done []*flownet.Flow) {
@@ -570,6 +624,17 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 			tenants[e.idx].inExecHeap = false
 			ready.set(e.idx)
 		}
+		// Fault pump point — identical in every driver: after the network
+		// advance and kernel-end pops, before arrival admission. A crashed
+		// victim's heap entries and wake bits go stale and pop as no-ops; a
+		// repaired tenant wakes like any other event.
+		if faults != nil {
+			finished, err := faults.apply(now, func(i int) { ready.set(i) })
+			if err != nil {
+				return err
+			}
+			remaining -= finished
+		}
 		for arrCursor < len(arrivals) && tenants[arrivals[arrCursor]].arrival <= now {
 			r := tenants[arrivals[arrCursor]]
 			arrCursor++
@@ -587,7 +652,7 @@ func driveEvents(net *flownet.Network, tenants []*runner, steps *int64) error {
 // Its per-round cost is O(all tenants); it exists for differential tests
 // (ForcePollingDriverForTest) and as executable documentation of the
 // semantics.
-func drivePolling(net *flownet.Network, tenants []*runner, steps *int64) error {
+func drivePolling(net *flownet.Network, tenants []*runner, faults *faultClock, steps *int64) error {
 	// Inference tenants' grants (server pump wakes) can land mid-round for
 	// an index already stepped; the woke flag re-rounds at the same clock,
 	// matching the event driver's same-clock follow-up rounds. Training
@@ -641,11 +706,19 @@ func drivePolling(net *flownet.Network, tenants []*runner, steps *int64) error {
 		if woke {
 			continue // a mid-round grant: re-round at the same clock
 		}
-		next = units.MinTime(next, net.NextEvent())
+		next = units.MinTime(next, units.MinTime(net.NextEvent(), faults.next()))
 		if next == units.Forever {
 			return fmt.Errorf("gpu: cluster stalled with no pending events")
 		}
 		advanceShared(net, tenants, next)
+		// Fault pump point (same position as the event driver: after the
+		// advance, before arrival admission). Wakes are no-ops here — the
+		// polling loop re-steps every live tenant anyway.
+		if faults != nil {
+			if _, err := faults.apply(net.Now(), func(int) {}); err != nil {
+				return err
+			}
+		}
 		for _, r := range tenants {
 			if r.phase == phasePending && r.arrival <= net.Now() {
 				if err := r.admit(); err != nil {

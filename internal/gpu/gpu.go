@@ -190,6 +190,15 @@ type Result struct {
 	// working set above GPU memory).
 	Failed     bool
 	FailReason string
+
+	// Fault-injection accounting (faults.go): Restarts counts crash
+	// recoveries, WastedTime the simulated progress lost to them, and
+	// CheckpointBytes/CheckpointWrites the durable snapshot traffic the
+	// tenant's recovery policy wrote to flash.
+	Restarts         int
+	WastedTime       units.Duration
+	CheckpointBytes  units.Bytes
+	CheckpointWrites int
 }
 
 // NormalizedPerf reports IterationTime relative to ideal (1.0 = ideal).

@@ -279,7 +279,7 @@ func (m *Machine) pagesOf(t *dnn.Tensor) int64 {
 // can subscribe this tenant to the pool's grant queue (an explicit wakeup
 // reason instead of re-polling).
 func (m *Machine) reserveHost(n units.Bytes) bool {
-	if m.host.Reserve(n) {
+	if m.host.ReserveFor(m.idx, n) {
 		return true
 	}
 	m.hostRejects++
@@ -493,12 +493,12 @@ func (m *Machine) release(st *tensorState) {
 		if mig.kind == uvm.PreEvict {
 			m.gpuUsed -= mig.size - mig.moved // chunks still in GPU
 			if mig.dst == uvm.InHost {
-				m.host.Release(mig.size) // reservation made at start
+				m.host.ReleaseFor(m.idx, mig.size) // reservation made at start
 			}
 		} else {
 			m.gpuUsed -= mig.moved + mig.chunk // chunks landed + reserved
 			if mig.src == uvm.InHost {
-				m.host.Release(mig.size)
+				m.host.ReleaseFor(m.idx, mig.size)
 			}
 		}
 		st.mig = nil
@@ -519,7 +519,7 @@ func (m *Machine) release(st *tensorState) {
 	case uvm.InGPU:
 		m.gpuUsed -= st.t.Size
 	case uvm.InHost:
-		m.host.Release(st.t.Size)
+		m.host.ReleaseFor(m.idx, st.t.Size)
 	}
 	if st.hasRng {
 		m.dev.Free(st.flash)
@@ -860,6 +860,8 @@ func deliver(f *flownet.Flow) {
 		d.owner.complete(f)
 	case *kvTransfer:
 		d.q.kvLanded(d)
+	case *ckptOp:
+		d.r.ckptLanded(d)
 	}
 }
 
@@ -944,7 +946,7 @@ func (m *Machine) onComplete(f *flownet.Flow) {
 		}
 	case uvm.Prefetch, uvm.FaultFetch:
 		if mig.src == uvm.InHost {
-			m.host.Release(mig.size)
+			m.host.ReleaseFor(m.idx, mig.size)
 		}
 		st.loc = uvm.InGPU
 		st.lastUse = m.Now()

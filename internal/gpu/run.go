@@ -5,8 +5,10 @@ import (
 	"sort"
 
 	"g10sim/internal/dnn"
+	"g10sim/internal/flownet"
 	"g10sim/internal/planner"
 	"g10sim/internal/profile"
+	"g10sim/internal/ssd"
 	"g10sim/internal/units"
 	"g10sim/internal/uvm"
 	"g10sim/internal/vitality"
@@ -72,6 +74,15 @@ const (
 	// global tensors at that moment's contention — when the shared clock
 	// reaches its arrival.
 	phasePending
+	// phaseCrashed: the tenant's server is down (fault injection); only a
+	// scheduled repair event revives it. Distinct from phasePending so the
+	// drivers' arrival admission never resurrects a crashed tenant.
+	phaseCrashed
+	// phaseCkpt: a checkpoint snapshot flow is in flight; the tenant resumes
+	// at its next boundary when the flow lands (ckptLanded).
+	phaseCkpt
+	// phaseRestore: a post-repair checkpoint read-back is in flight.
+	phaseRestore
 )
 
 // runner is one tenant: a resumable step machine that replays its workload
@@ -120,6 +131,27 @@ type runner struct {
 	// (inference.go): step/start/admit dispatch to the serving step machine
 	// and m stays nil — request tenants have no Machine.
 	inf *infReq
+
+	// Fault-injection and recovery state (faults.go). ckptEvery > 0
+	// checkpoints every that-many iterations (RunCluster derives it from the
+	// tenant's Recovery policy); lastCkpt is the iteration of the last
+	// durable snapshot and the resume point after a repair. progressMark is
+	// the clock value since which the tenant's work would be lost by a crash
+	// (admission, repair, or last checkpoint completion); wasted accumulates
+	// exactly those losses.
+	ckptEvery    int
+	ckptBytes    units.Bytes
+	lastCkpt     int
+	ckptFly      *flownet.Flow
+	ckptRng      ssd.LogicalRange
+	hasCkptRng   bool
+	ckptWritten  units.Bytes
+	ckptWrites   int
+	restarts     int
+	abortedFlows int
+	abortedKerns int
+	wasted       units.Duration
+	progressMark units.Time
 
 	// Measured-iteration snapshots.
 	iterStart    units.Time
@@ -187,6 +219,7 @@ func (r *runner) admit() error {
 		return nil
 	}
 	r.phase = phaseBoundary
+	r.progressMark = r.m.Now()
 	return r.start()
 }
 
@@ -217,7 +250,9 @@ func (r *runner) step() {
 	n := len(m.g.Kernels)
 	for {
 		switch r.phase {
-		case phaseDone, phasePending:
+		case phaseDone, phasePending, phaseCrashed, phaseCkpt, phaseRestore:
+			// Crashed tenants wait for their repair event; checkpoint and
+			// restore phases wait for their snapshot flow to land.
 			return
 		case phaseBoundary:
 			if r.k == 0 && r.iter == r.cfg.Iterations-1 {
@@ -232,6 +267,9 @@ func (r *runner) step() {
 					return
 				}
 				r.replan()
+				if r.maybeCheckpoint() {
+					return // blocked on the snapshot flow
+				}
 				continue
 			}
 			r.beginWait()
@@ -364,7 +402,7 @@ func (r *runner) stepWait() bool {
 			// wakes this tenant explicitly instead of relying on a re-poll.
 			if r.onHostWake != nil && !r.hostSubscribed && m.hostRejects > r.hostRejects0 {
 				r.hostSubscribed = true
-				m.host.AwaitFree(m.lastHostReject, r.onHostWake)
+				m.host.AwaitFreeFor(m.idx, m.lastHostReject, r.onHostWake)
 			}
 			r.checkFail = true
 			return false
@@ -565,6 +603,10 @@ func (r *runner) result() Result {
 	res.TLBHitRate = m.tlb.HitRate()
 	res.Failed = m.failed
 	res.FailReason = m.failReason
+	res.Restarts = r.restarts
+	res.WastedTime = r.wasted
+	res.CheckpointBytes = r.ckptWritten
+	res.CheckpointWrites = r.ckptWrites
 	return res
 }
 

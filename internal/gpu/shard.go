@@ -116,11 +116,11 @@ func (c *shardCrew) stop() { close(c.work) }
 // driveSharded schedules the tenants like driveEvents, with per-shard
 // bookkeeping advanced concurrently and all shared-state mutation
 // serialized at the barrier in global index order.
-func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *int64) error {
+func driveSharded(net *flownet.Network, tenants []*runner, nshards int, faults *faultClock, steps *int64) error {
 	n := len(tenants)
 	spans := planShards(n, nshards)
 	if len(spans) <= 1 {
-		return driveEvents(net, tenants, steps)
+		return driveEvents(net, tenants, faults, steps)
 	}
 	// Rate re-derivations inside the shared advance may fill independent
 	// flow components concurrently on the same budget.
@@ -196,7 +196,7 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 			s := &shards[si]
 			for _, i := range s.wake {
 				r := tenants[i]
-				if r.phase == phaseDone || r.phase == phasePending {
+				if r.phase == phaseDone || r.phase == phasePending || r.phase == phaseCrashed {
 					continue
 				}
 				s.steps++
@@ -250,7 +250,7 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 		if arrCursor < len(arrivals) {
 			next = units.MinTime(next, tenants[arrivals[arrCursor]].arrival)
 		}
-		next = units.MinTime(next, net.NextEvent())
+		next = units.MinTime(next, units.MinTime(net.NextEvent(), faults.next()))
 		if next == units.Forever {
 			return fmt.Errorf("gpu: cluster stalled with no pending events")
 		}
@@ -288,6 +288,16 @@ func driveSharded(net *flownet.Network, tenants []*runner, nshards int, steps *i
 				s.ready.set(e.idx)
 			}
 		})
+		// Fault pump point, on the coordinator between barriers — the same
+		// position as driveEvents (post-advance, post-pop, pre-arrival), so
+		// faulted runs stay byte-identical at any shard count.
+		if faults != nil {
+			finished, err := faults.apply(now, func(i int) { shards[shardOf[i]].ready.set(i) })
+			if err != nil {
+				return err
+			}
+			remaining -= finished
+		}
 		for arrCursor < len(arrivals) && tenants[arrivals[arrCursor]].arrival <= now {
 			r := tenants[arrivals[arrCursor]]
 			arrCursor++

@@ -1,0 +1,54 @@
+package policy
+
+import (
+	"math"
+
+	"g10sim/internal/gpu"
+	"g10sim/internal/units"
+)
+
+// restartRecovery loses all progress on a crash: the tenant re-admits at
+// iteration zero and writes no checkpoints.
+type restartRecovery struct{}
+
+func (restartRecovery) Name() string { return "restart" }
+func (restartRecovery) CheckpointInterval(_, _, _ units.Duration) int {
+	return 0
+}
+
+// Restart returns the no-checkpoint recovery policy: a crashed job restarts
+// from iteration zero.
+func Restart() gpu.Recovery { return restartRecovery{} }
+
+// ckptRecovery checkpoints every `every` iterations; every <= 0 derives the
+// interval from Young's approximation.
+type ckptRecovery struct{ every int }
+
+func (ckptRecovery) Name() string { return "checkpoint" }
+
+// CheckpointInterval returns the fixed cadence, or — when none was given —
+// the Young/Daly optimum τ = sqrt(2·ckptCost·MTBF) rounded to whole
+// iterations. No crash schedule (mtbf == 0) or a free checkpoint means the
+// approximation has no optimum; checkpointing is then disabled (restart
+// semantics at zero overhead).
+func (c ckptRecovery) CheckpointInterval(iterTime, ckptCost, mtbf units.Duration) int {
+	if c.every > 0 {
+		return c.every
+	}
+	if mtbf <= 0 || ckptCost <= 0 || iterTime <= 0 {
+		return 0
+	}
+	tau := math.Sqrt(2 * float64(ckptCost) * float64(mtbf))
+	iters := int(math.Round(tau / float64(iterTime)))
+	if iters < 1 {
+		iters = 1
+	}
+	return iters
+}
+
+// Checkpoint returns the periodic-snapshot recovery policy: every
+// everyIters iterations the job writes its global tensors to flash as a
+// real flow (charging wear and contending for bandwidth) and resumes from
+// the last completed snapshot after a crash. everyIters <= 0 selects the
+// Young/Daly auto-interval derived from the fault schedule's MTBF.
+func Checkpoint(everyIters int) gpu.Recovery { return ckptRecovery{every: everyIters} }

@@ -246,6 +246,13 @@ type Device struct {
 	allocCursor int64
 	freeList    []LogicalRange
 
+	// deadChips counts flash dies lost to injected failures. The failure
+	// model is exterior — calibrated behaviour, not FTL surgery: the array
+	// is assumed to rebuild dead dies' data from internal redundancy, so no
+	// mapping is lost, but the alive fraction scales both effective
+	// bandwidths and caps how far Alloc may extend the logical tail.
+	deadChips int
+
 	stats Stats
 	// effWrite caches EffectiveWriteBandwidth between writes: the GPU layer
 	// re-derives the shared ssd-write channel after every device write, and
@@ -372,9 +379,9 @@ func (d *Device) Alloc(n int64) (LogicalRange, error) {
 			return out, nil
 		}
 	}
-	if d.allocCursor+n > d.logicalPages {
+	if limit := d.allocLimit(); d.allocCursor+n > limit {
 		return LogicalRange{}, fmt.Errorf("ssd: out of logical space (%d pages requested, %d free at tail)",
-			n, d.logicalPages-d.allocCursor)
+			n, limit-d.allocCursor)
 	}
 	out := LogicalRange{Start: d.allocCursor, Count: n}
 	d.allocCursor += n
@@ -575,15 +582,55 @@ func (d *Device) WriteAmplification() float64 {
 // per-chunk refresh in the GPU layer costs a flag test when nothing wrote.
 func (d *Device) EffectiveWriteBandwidth() units.Bandwidth {
 	if !d.effWriteOK {
-		d.effWrite = units.Bandwidth(float64(d.cfg.WriteBandwidth) / d.WriteAmplification())
+		d.effWrite = units.Bandwidth(float64(d.cfg.WriteBandwidth) / d.WriteAmplification() * d.aliveFraction())
 		d.effWriteOK = true
 	}
 	return d.effWrite
 }
 
 // EffectiveReadBandwidth is the rated read bandwidth (GC reads are folded
-// into the write path's amplification charge).
-func (d *Device) EffectiveReadBandwidth() units.Bandwidth { return d.cfg.ReadBandwidth }
+// into the write path's amplification charge), scaled by the surviving die
+// fraction after injected failures.
+func (d *Device) EffectiveReadBandwidth() units.Bandwidth {
+	return units.Bandwidth(float64(d.cfg.ReadBandwidth) * d.aliveFraction())
+}
+
+// FailDies marks n flash dies failed, clamped so at least one die survives.
+// Reports how many dies actually failed. Capacity and bandwidth shrink by
+// the dead fraction (see the deadChips field for the model's scope); data
+// already written stays readable.
+func (d *Device) FailDies(n int) int {
+	if lim := d.chips - 1 - d.deadChips; n > lim {
+		n = lim
+	}
+	if n <= 0 {
+		return 0
+	}
+	d.deadChips += n
+	d.effWriteOK = false
+	return n
+}
+
+// DeadChips reports how many dies FailDies has removed.
+func (d *Device) DeadChips() int { return d.deadChips }
+
+// aliveFraction is the surviving share of the array's dies (exactly 1.0
+// with no failures, so the fault-free fast paths are bit-unchanged).
+func (d *Device) aliveFraction() float64 {
+	if d.deadChips == 0 {
+		return 1
+	}
+	return float64(d.chips-d.deadChips) / float64(d.chips)
+}
+
+// allocLimit is the logical tail bound: dead dies shrink the space Alloc
+// may extend into (ranges already allocated, and the free list, are kept).
+func (d *Device) allocLimit() int64 {
+	if d.deadChips == 0 {
+		return d.logicalPages
+	}
+	return d.logicalPages - int64(float64(d.logicalPages)*float64(d.deadChips)/float64(d.chips))
+}
 
 // LifetimeYears implements §7.7: endurance bytes (DWPD × capacity × rated
 // days) divided by a continuous write rate.

@@ -351,3 +351,79 @@ func TestGCReportsRelocations(t *testing.T) {
 		t.Error("expected GC relocations under 90% churn")
 	}
 }
+
+// TestFailDies: die failures shrink bandwidth and allocatable space by the
+// dead fraction, clamp so one die survives, and leave written data readable.
+func TestFailDies(t *testing.T) {
+	d := MustNew(smallConfig()) // 2 channels x 2 chips = 4 dies
+	r, err := d.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	wbw, rbw := d.EffectiveWriteBandwidth(), d.EffectiveReadBandwidth()
+
+	if got := d.FailDies(2); got != 2 {
+		t.Fatalf("FailDies(2) = %d, want 2", got)
+	}
+	if d.DeadChips() != 2 {
+		t.Errorf("DeadChips = %d, want 2", d.DeadChips())
+	}
+	if got := d.EffectiveWriteBandwidth(); got != wbw/2 {
+		t.Errorf("write bandwidth = %v after losing half the dies, want %v", got, wbw/2)
+	}
+	if got := d.EffectiveReadBandwidth(); got != rbw/2 {
+		t.Errorf("read bandwidth = %v after losing half the dies, want %v", got, rbw/2)
+	}
+	if err := d.Read(r); err != nil {
+		t.Errorf("surviving data unreadable after die failure: %v", err)
+	}
+
+	// At least one die always survives: asking for the rest clamps.
+	if got := d.FailDies(10); got != 1 {
+		t.Errorf("FailDies(10) = %d with one spare die, want 1", got)
+	}
+	if got := d.FailDies(1); got != 0 {
+		t.Errorf("FailDies on the last die = %d, want 0", got)
+	}
+}
+
+// TestFailDiesShrinksAllocTail: dead dies bound new allocations while
+// existing ranges persist.
+func TestFailDiesShrinksAllocTail(t *testing.T) {
+	d := MustNew(smallConfig())
+	total := d.logicalPages
+	r, err := d.Alloc(total / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(r); err != nil {
+		t.Fatal(err)
+	}
+	d.FailDies(2) // half the array gone
+	if _, err := d.Alloc(total / 2); err == nil {
+		t.Error("alloc past the shrunken tail succeeded")
+	}
+	if _, err := d.Alloc(total / 8); err != nil {
+		t.Errorf("alloc within the surviving space failed: %v", err)
+	}
+	if err := d.Read(r); err != nil {
+		t.Errorf("pre-failure range unreadable: %v", err)
+	}
+}
+
+// TestHealthyDeviceBandwidthExact: with no failures the alive fraction must
+// be exactly 1.0 — fault-free effective bandwidths are bit-identical to the
+// pre-fault-model values.
+func TestHealthyDeviceBandwidthExact(t *testing.T) {
+	d := MustNew(smallConfig())
+	cfg := smallConfig().withDefaults()
+	if got := d.EffectiveReadBandwidth(); got != cfg.ReadBandwidth {
+		t.Errorf("healthy read bandwidth = %v, want rated %v", got, cfg.ReadBandwidth)
+	}
+	if got := d.EffectiveWriteBandwidth(); got != cfg.WriteBandwidth {
+		t.Errorf("healthy write bandwidth = %v, want rated %v (WA=1)", got, cfg.WriteBandwidth)
+	}
+}

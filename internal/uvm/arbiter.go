@@ -69,6 +69,16 @@ func (q *Queues) Push(r *Request) {
 	}
 }
 
+// Reset empties every queue (crash teardown): after it returns, nothing in
+// the queues references any request, so the caller may recycle them. The
+// sequence counter keeps counting so requests pushed later still order
+// after everything that ever preceded them.
+func (q *Queues) Reset() {
+	q.fault = q.fault[:0]
+	q.prefetch = q.prefetch[:0]
+	q.evict = q.evict[:0]
+}
+
 // Len reports total queued requests.
 func (q *Queues) Len() int { return len(q.fault) + len(q.prefetch) + len(q.evict) }
 

@@ -25,13 +25,25 @@ type MemPool struct {
 	// two backing arrays ping-pong so steady-state notification allocates
 	// nothing. nil while a notify round is mid-wake (see notify).
 	scratch []poolWaiter
+	// owned ledgers the bytes each tagged owner (ReserveFor) currently
+	// holds, so a crashed tenant's grants can be bulk-released without the
+	// caller replaying its reservation history. Lazily allocated; anonymous
+	// Reserve/Release traffic never touches it.
+	owned map[int]units.Bytes
 }
 
-// poolWaiter is one pending capacity subscription.
+// poolWaiter is one pending capacity subscription. owner is the tag passed
+// to AwaitFreeFor (anonOwner for plain AwaitFree) so ReleaseAll can drop a
+// dead tenant's subscriptions.
 type poolWaiter struct {
-	need units.Bytes
-	wake func()
+	need  units.Bytes
+	wake  func()
+	owner int
 }
+
+// anonOwner tags reservations and subscriptions made through the untagged
+// API; ReleaseAll never matches it.
+const anonOwner = -1
 
 // NewMemPool builds a pool of the given capacity.
 func NewMemPool(capacity units.Bytes) *MemPool {
@@ -65,10 +77,63 @@ func (p *MemPool) Release(n units.Bytes) {
 // behalf. A need satisfiable right now fires on the next Release too, not
 // immediately, so subscribing never re-enters the caller.
 func (p *MemPool) AwaitFree(need units.Bytes, wake func()) {
+	p.AwaitFreeFor(anonOwner, need, wake)
+}
+
+// AwaitFreeFor is AwaitFree with the subscription tagged by owner, so a
+// later ReleaseAll(owner) drops it (a dead tenant must not consume a grant
+// a surviving waiter behind it is queued for).
+func (p *MemPool) AwaitFreeFor(owner int, need units.Bytes, wake func()) {
 	if need < 0 {
 		need = 0
 	}
-	p.waiters = append(p.waiters, poolWaiter{need: need, wake: wake})
+	p.waiters = append(p.waiters, poolWaiter{need: need, wake: wake, owner: owner})
+}
+
+// ReserveFor is Reserve with the grant ledgered under owner for ReleaseAll.
+func (p *MemPool) ReserveFor(owner int, n units.Bytes) bool {
+	if !p.Reserve(n) {
+		return false
+	}
+	if p.owned == nil {
+		p.owned = make(map[int]units.Bytes)
+	}
+	p.owned[owner] += n
+	return true
+}
+
+// ReleaseFor returns n bytes previously claimed with ReserveFor(owner).
+func (p *MemPool) ReleaseFor(owner int, n units.Bytes) {
+	if held := p.owned[owner]; n > held {
+		panic(fmt.Sprintf("uvm: owner %d releasing %v but holds %v", owner, n, held))
+	}
+	p.owned[owner] -= n
+	p.Release(n)
+}
+
+// OwnedBy reports the bytes owner currently holds via ReserveFor.
+func (p *MemPool) OwnedBy(owner int) units.Bytes { return p.owned[owner] }
+
+// ReleaseAll releases every byte owner holds and drops its pending
+// subscriptions, then runs one FIFO notify round over the survivors — the
+// bulk teardown a server crash needs. The round runs even when the owner
+// held nothing: dropping a queue-head subscription alone can unblock the
+// waiters behind it. Returns the bytes released.
+func (p *MemPool) ReleaseAll(owner int) units.Bytes {
+	n := p.owned[owner]
+	delete(p.owned, owner)
+	kept := p.waiters[:0]
+	for _, w := range p.waiters {
+		if w.owner != owner {
+			kept = append(kept, w)
+		}
+	}
+	p.waiters = kept
+	if n > 0 {
+		p.used -= n
+	}
+	p.notify()
+	return n
 }
 
 // notify pops waiters in FIFO order as long as the head's need fits the

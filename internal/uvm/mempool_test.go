@@ -173,3 +173,87 @@ func TestMemPoolReleasePanicsOnUnderflow(t *testing.T) {
 	}()
 	NewMemPool(units.MB).Release(1)
 }
+
+func TestMemPoolOwnerLedger(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	if !p.ReserveFor(1, 30*units.MB) || !p.ReserveFor(2, 20*units.MB) {
+		t.Fatal("tagged reserves failed")
+	}
+	if !p.Reserve(10 * units.MB) { // anonymous traffic alongside
+		t.Fatal("anonymous reserve failed")
+	}
+	if p.OwnedBy(1) != 30*units.MB || p.OwnedBy(2) != 20*units.MB {
+		t.Errorf("ledger = %v/%v, want 30MB/20MB", p.OwnedBy(1), p.OwnedBy(2))
+	}
+	p.ReleaseFor(1, 10*units.MB)
+	if p.OwnedBy(1) != 20*units.MB || p.Used() != 50*units.MB {
+		t.Errorf("after partial release: owned(1)=%v used=%v", p.OwnedBy(1), p.Used())
+	}
+	// A denied ReserveFor must not touch the ledger.
+	if p.ReserveFor(1, 60*units.MB) {
+		t.Error("over-capacity tagged reserve succeeded")
+	}
+	if p.OwnedBy(1) != 20*units.MB {
+		t.Errorf("denied reserve changed the ledger: %v", p.OwnedBy(1))
+	}
+}
+
+func TestMemPoolReleaseForPanicsBeyondLedger(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	p.ReserveFor(1, 10*units.MB)
+	p.Reserve(10 * units.MB) // anonymous bytes owner 1 must not be able to free
+	defer func() {
+		if recover() == nil {
+			t.Error("releasing beyond the owner's ledger did not panic")
+		}
+	}()
+	p.ReleaseFor(1, 20*units.MB)
+}
+
+// TestMemPoolReleaseAll: the crash-teardown path must free the owner's
+// aggregate, drop its queued subscriptions, and wake survivors in FIFO
+// order — without disturbing other owners or anonymous holdings.
+func TestMemPoolReleaseAll(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	p.ReserveFor(1, 40*units.MB)
+	p.ReserveFor(2, 30*units.MB)
+	p.Reserve(30 * units.MB) // pool now full
+	var woken []string
+	p.AwaitFreeFor(1, 10*units.MB, func() { woken = append(woken, "dead") })
+	p.AwaitFreeFor(2, 35*units.MB, func() { woken = append(woken, "b") })
+	p.AwaitFree(5*units.MB, func() { woken = append(woken, "anon") })
+
+	if got := p.ReleaseAll(1); got != 40*units.MB {
+		t.Fatalf("ReleaseAll freed %v, want 40MB", got)
+	}
+	// Owner 1's subscription is gone; its 40MB wakes b then anon (FIFO).
+	if len(woken) != 2 || woken[0] != "b" || woken[1] != "anon" {
+		t.Fatalf("woken = %v, want [b anon]", woken)
+	}
+	if p.Used() != 60*units.MB || p.OwnedBy(1) != 0 || p.OwnedBy(2) != 30*units.MB {
+		t.Errorf("after teardown: used=%v owned(1)=%v owned(2)=%v", p.Used(), p.OwnedBy(1), p.OwnedBy(2))
+	}
+	// A second teardown of the same owner is a harmless no-op.
+	if got := p.ReleaseAll(1); got != 0 {
+		t.Errorf("second ReleaseAll freed %v, want 0", got)
+	}
+}
+
+// TestMemPoolReleaseAllUnblocksQueue: even an owner holding zero bytes must
+// have its dead queue-head subscription dropped, unblocking the FIFO queue
+// behind it on the next release.
+func TestMemPoolReleaseAllUnblocksQueue(t *testing.T) {
+	p := NewMemPool(100 * units.MB)
+	p.Reserve(100 * units.MB)
+	var woken []string
+	p.AwaitFreeFor(7, 90*units.MB, func() { woken = append(woken, "dead-head") })
+	p.AwaitFree(10*units.MB, func() { woken = append(woken, "live") })
+	p.Release(20 * units.MB) // head needs 90MB: nobody wakes
+	if len(woken) != 0 {
+		t.Fatalf("woken = %v behind an unsatisfied head", woken)
+	}
+	p.ReleaseAll(7) // owner 7 holds nothing, but its subscription blocks the queue
+	if len(woken) != 1 || woken[0] != "live" {
+		t.Fatalf("woken = %v after dropping the dead head, want [live]", woken)
+	}
+}
